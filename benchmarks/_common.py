@@ -1,0 +1,81 @@
+"""Shared helpers for the reproduction benches.
+
+Every bench regenerates one table or figure of the paper: it runs the
+corresponding campaign(s), prints the measured rows next to the paper's
+anchors, and asserts the *shape* claims (who wins, roughly by what factor,
+where crossovers fall) — absolute counts are not expected to match a
+hardware testbed.
+
+Scaling: the paper's campaigns run 200-800 faults per experiment.  Set
+``REPRO_BENCH_SCALE`` (default 0.04) to scale the *fault count*; the cycle
+length is never scaled because per-fault statistics need the stranded-update
+population at steady state (see ``repro.core.calibration``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from repro.core import calibration
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.platform import TestPlatform
+from repro.core.results import CampaignResult
+from repro.ssd.device import SsdConfig
+from repro.workload.spec import WorkloadSpec
+
+
+def bench_scale() -> float:
+    """Campaign scale factor from the environment (paper scale = 1.0)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+
+
+def fault_budget(experiment_key: str) -> int:
+    """Scaled fault count for one of the paper's experiment families."""
+    paper = calibration.PAPER_FAULTS.get(experiment_key, 300)
+    return calibration.scaled_faults(paper, bench_scale())
+
+
+def run_campaign(
+    spec: WorkloadSpec,
+    faults: int,
+    seed: int,
+    config: Optional[SsdConfig] = None,
+    label: str = "",
+) -> CampaignResult:
+    """One campaign on a fresh platform."""
+    platform = TestPlatform(spec, config=config, seed=seed)
+    campaign = Campaign(platform, CampaignConfig(faults=faults))
+    return campaign.run(label or spec.describe())
+
+
+def print_banner(title: str, anchor_keys: List[str]) -> None:
+    """Print the experiment header plus its calibration anchors."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    for key in anchor_keys:
+        anchor = calibration.ANCHORS[key]
+        print(f"  paper anchor [{key}]: {anchor.value} {anchor.unit} — {anchor.paper_anchor}")
+
+
+def summarize_rows(results: Dict[str, CampaignResult]) -> List[List]:
+    """Standard result rows: label, faults, failures, rates."""
+    rows = []
+    for label, result in results.items():
+        summary = result.summary()
+        rows.append(
+            [
+                label,
+                summary["faults"],
+                summary["data_failures"],
+                summary["fwa"],
+                summary["io_errors"],
+                summary["loss_per_fault"],
+            ]
+        )
+    return rows
+
+
+RESULT_HEADERS = ["workload", "faults", "data failures", "FWA", "IO errors", "loss/fault"]

@@ -1,0 +1,66 @@
+"""Fig. 4 — PSU output voltage during the discharge phase.
+
+Paper: (a) unloaded PSU discharges within ~1400 ms; (b) with one SSD the
+discharge takes ~900 ms and crosses the 4.5 V host-detach threshold after
+~40 ms.  This bench captures both waveforms from the simulated rail and
+checks every anchor.
+"""
+
+from _common import print_banner
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.core.experiment import run_discharge_capture
+
+
+def first_time_below(waveform, volts):
+    for t_ms, v in waveform:
+        if v < volts:
+            return t_ms
+    return None
+
+
+def regenerate_fig4():
+    unloaded = run_discharge_capture(with_device=False, sample_interval_us=1000)
+    loaded = run_discharge_capture(with_device=True, sample_interval_us=1000)
+    return {
+        "unloaded_full_ms": first_time_below(unloaded, 0.06),
+        "loaded_full_ms": first_time_below(loaded, 0.06),
+        "loaded_detach_ms": first_time_below(loaded, 4.5),
+        "unloaded_waveform": unloaded,
+        "loaded_waveform": loaded,
+    }
+
+
+def test_fig4_psu_discharge(benchmark):
+    measured = benchmark.pedantic(regenerate_fig4, rounds=1, iterations=1)
+
+    print_banner(
+        "Fig. 4: PSU discharge waveform",
+        ["psu_unloaded_discharge_ms", "psu_loaded_discharge_ms", "host_detach_ms"],
+    )
+    # Downsampled waveform table (the figure's series).
+    for name in ("unloaded_waveform", "loaded_waveform"):
+        samples = measured[name][:: max(1, len(measured[name]) // 12)]
+        print(
+            ascii_table(
+                ["t (ms)", "V"],
+                [[f"{t:.0f}", f"{v:.2f}"] for t, v in samples],
+                title=f"\n{name}",
+            )
+        )
+    print()
+    print(
+        paper_vs_measured(
+            [
+                ["unloaded full discharge (ms)", 1400, f"{measured['unloaded_full_ms']:.0f}", "shape"],
+                ["loaded full discharge (ms)", 900, f"{measured['loaded_full_ms']:.0f}", "shape"],
+                ["loaded 4.5 V crossing (ms)", 40, f"{measured['loaded_detach_ms']:.0f}", "shape"],
+            ]
+        )
+    )
+
+    assert 1250 <= measured["unloaded_full_ms"] <= 1550
+    assert 800 <= measured["loaded_full_ms"] <= 1000
+    assert 25 <= measured["loaded_detach_ms"] <= 60
+    # Load shortens the discharge (the paper's Fig. 4a vs 4b contrast).
+    assert measured["loaded_full_ms"] < measured["unloaded_full_ms"]

@@ -1,0 +1,70 @@
+"""Fig. 5 — Impact of request type (read percentage) on data failures.
+
+Paper: random 4 KiB-1 MiB requests, read % in {0, 20, 50, 80, 100}; ≥300
+faults over 24 000 requests.  Data failures shrink as the read share grows;
+the fully-read workload shows **no** data failure but still suffers IO
+errors; write-heavy workloads lose ~2 requests per fault.
+"""
+
+from _common import (
+    RESULT_HEADERS,
+    fault_budget,
+    print_banner,
+    run_campaign,
+    summarize_rows,
+)
+
+from repro.analysis import ascii_bar_series, ascii_table
+from repro.analysis.stats import is_monotone_decreasing
+from repro.units import GIB
+from repro.workload.spec import WorkloadSpec
+
+READ_PERCENTAGES = [0, 20, 50, 80, 100]
+
+
+def regenerate_fig5():
+    faults = max(3, fault_budget("fig5_request_type") // len(READ_PERCENTAGES))
+    results = {}
+    for index, read_pct in enumerate(READ_PERCENTAGES):
+        spec = WorkloadSpec(
+            wss_bytes=32 * GIB,
+            read_fraction=read_pct / 100.0,
+            outstanding=16,
+        )
+        results[read_pct] = run_campaign(
+            spec, faults=faults, seed=500 + index, label=f"read={read_pct}%"
+        )
+    return results
+
+
+def test_fig5_request_type(benchmark):
+    results = benchmark.pedantic(regenerate_fig5, rounds=1, iterations=1)
+
+    print_banner(
+        "Fig. 5: impact of request type (read %)",
+        ["failures_per_fault_write_mixed"],
+    )
+    rows = summarize_rows({f"read={k}%": v for k, v in results.items()})
+    print(ascii_table(RESULT_HEADERS, rows))
+    print()
+    print(
+        ascii_bar_series(
+            [f"read={k}%" for k in READ_PERCENTAGES],
+            [results[k].data_loss_per_fault for k in READ_PERCENTAGES],
+            title="data loss per power fault (paper: decreasing, 0 at 100% read)",
+        )
+    )
+
+    losses = [results[k].data_loss_per_fault for k in READ_PERCENTAGES]
+    # Shape 1: fully-read workloads lose no data...
+    assert results[100].total_data_loss == 0
+    # ...but still see IO errors from device unavailability.
+    assert results[100].io_errors > 0
+    # Shape 2: more writes, more loss — write-only strictly beats read-only
+    # and the trend is (loosely) monotone.
+    assert losses[0] > 0
+    assert losses[0] >= max(losses[2:]) * 0.9
+    assert is_monotone_decreasing(losses, slack=0.6)
+    # Shape 3: write-heavy loss per fault is in the paper's ballpark
+    # (~2/fault; we accept a generous band for the simulation substrate).
+    assert 0.5 <= losses[0] <= 12.0

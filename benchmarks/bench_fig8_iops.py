@@ -1,0 +1,77 @@
+"""Fig. 8 — Impact of requested IOPS on responded IOPS and failures.
+
+Paper: workloads with requested IOPS from 1 200 to 30 000; ≥600 faults.
+Responded IOPS tracks requested IOPS until it saturates around **6 900**;
+data failures grow with requested IOPS until the same saturation point and
+then flatten, because the fault can only hit as much data as the device
+actually responds to.
+
+(The paper's text says 4 KiB-1 MiB request sizes, but a ~6 900 IOPS
+saturation is only reachable with small commands on SATA — we use 4 KiB
+requests, which is the regime the saturation number describes.)
+"""
+
+from _common import fault_budget, print_banner, run_campaign
+
+from repro.analysis import ascii_table, saturation_point
+from repro.analysis.stats import is_monotone_increasing
+from repro.units import GIB, KIB
+from repro.workload.spec import WorkloadSpec
+
+REQUESTED_IOPS = [1200, 2400, 6000, 12000, 30000]
+
+
+def regenerate_fig8():
+    faults = max(6, fault_budget("fig8_iops") // len(REQUESTED_IOPS))
+    results = {}
+    for index, iops in enumerate(REQUESTED_IOPS):
+        spec = WorkloadSpec(
+            wss_bytes=32 * GIB,
+            read_fraction=0.0,
+            size_min_bytes=4 * KIB,
+            size_max_bytes=4 * KIB,
+            requested_iops=float(iops),
+        )
+        results[iops] = run_campaign(
+            spec, faults=faults, seed=800 + index, label=f"iops={iops}"
+        )
+    return results
+
+
+def test_fig8_requested_iops(benchmark):
+    results = benchmark.pedantic(regenerate_fig8, rounds=1, iterations=1)
+
+    print_banner(
+        "Fig. 8: requested IOPS vs responded IOPS and failures",
+        ["responded_iops_saturation"],
+    )
+    responded = [results[k].responded_iops for k in REQUESTED_IOPS]
+    losses = [results[k].data_loss_per_fault for k in REQUESTED_IOPS]
+    print(
+        ascii_table(
+            ["requested IOPS", "responded IOPS", "data loss/fault"],
+            [
+                [k, f"{r:.0f}", f"{l:.2f}"]
+                for k, r, l in zip(REQUESTED_IOPS, responded, losses)
+            ],
+        )
+    )
+
+    # Shape 1: below saturation the device keeps up (within pacing noise).
+    assert responded[0] <= 1.15 * REQUESTED_IOPS[0]
+    assert responded[0] >= 0.75 * REQUESTED_IOPS[0]
+    # Shape 2: responded IOPS saturates near the paper's ~6900.
+    peak = max(responded)
+    assert 5000 <= peak <= 8500, responded
+    # The two over-saturation points respond the same.
+    assert abs(responded[-1] - responded[-2]) <= 0.15 * peak
+    sat = saturation_point(REQUESTED_IOPS, responded, tolerance=0.10)
+    assert sat is not None and sat <= 12000
+    # Shape 3: failures grow with requested IOPS up to saturation...
+    assert is_monotone_increasing(losses[:3], slack=0.35), losses
+    assert losses[0] < min(losses[-2:]), losses
+    # ...and stop growing with *requested* IOPS once responded IOPS is
+    # capped: the over-saturation points stay within each other's noise
+    # band instead of scaling with the 2.5x requested-rate step.
+    over_lo, over_hi = sorted(losses[-2:])
+    assert over_hi <= 2.5 * over_lo + 2.0, losses

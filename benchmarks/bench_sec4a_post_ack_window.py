@@ -1,0 +1,76 @@
+"""§IV-A — Data loss as a function of time after request completion.
+
+Paper: the fault is injected at a varying interval after the request's ACK;
+"on average 700 ms after receiving ACK signal of the request in application
+layer, the power fault can corrupt the corresponding request."  I.e. there
+is a vulnerability window of roughly 700 ms after completion; beyond it the
+data is durable.
+
+The per-request loss probability of real drives is small, so resolving the
+window shape at paper scale needs thousands of trials; the bench uses the
+amplified-firmware device (weak recovery scan) — that raises the magnitude
+without moving the boundary, which is set by the map journal's commit
+interval (calibrated to 700 ms).
+"""
+
+from _common import print_banner
+
+from repro.analysis import ascii_bar_series, ascii_table
+from repro.core.experiment import run_post_ack_sweep
+
+INTERVALS_MS = [50, 250, 450, 800, 1000]
+WINDOW_MS = 700
+# The commit period starts at the *first map update* of the burst, while
+# intervals are measured from the *last ACK*; requests ACKed late in the
+# burst see an effectively shorter window, so points within one burst-span
+# of the boundary (~450-700 ms) are mixed and not asserted on.
+CLEARLY_INSIDE_MS = 300
+
+
+def regenerate_sec4a():
+    return run_post_ack_sweep(
+        intervals_ms=INTERVALS_MS,
+        cycles_per_point=3,
+        burst_requests=30,
+        seed=41,
+    )
+
+
+def test_sec4a_post_ack_window(benchmark):
+    points = benchmark.pedantic(regenerate_sec4a, rounds=1, iterations=1)
+
+    print_banner(
+        "§IV-A: vulnerability window after request completion",
+        ["post_ack_window_ms"],
+    )
+    print(
+        ascii_table(
+            ["interval after ACK (ms)", "ACKed", "lost", "loss fraction"],
+            [
+                [p.interval_ms, p.acked_requests, p.lost_requests, f"{p.loss_fraction:.3f}"]
+                for p in points
+            ],
+        )
+    )
+    print()
+    print(
+        ascii_bar_series(
+            [f"{p.interval_ms}ms" for p in points],
+            [p.loss_fraction for p in points],
+            title="loss fraction vs post-ACK interval (paper: window up to ~700 ms)",
+        )
+    )
+
+    clearly_inside = [p for p in points if p.interval_ms <= CLEARLY_INSIDE_MS]
+    outside = [p for p in points if p.interval_ms > WINDOW_MS]
+    # Shape 1: completed, ACKed requests still lose data inside the window.
+    assert all(p.loss_fraction > 0 for p in clearly_inside), [
+        (p.interval_ms, p.lost_requests) for p in clearly_inside
+    ]
+    # Shape 2: beyond ~700 ms the data is durable.
+    assert all(p.lost_requests == 0 for p in outside), [
+        (p.interval_ms, p.lost_requests) for p in outside
+    ]
+    # Shape 3: vulnerability never grows with the interval.
+    fractions = [p.loss_fraction for p in points]
+    assert all(a >= b - 0.05 for a, b in zip(fractions, fractions[1:])), fractions

@@ -1,0 +1,62 @@
+"""§IV-D — Impact of request access pattern (random vs sequential).
+
+Paper: two independent write-only workloads (4 KiB-1 MiB, WSS 64 GiB),
+one fully random, one fully sequential; ≥300 faults over 24 000 requests.
+Because the FTL "only keeps the first address in the mapping table" for
+sequential runs, losing one (volatile) map entry orphans a whole run —
+sequential workloads lose about **14 % more** data than random ones.
+"""
+
+from _common import (
+    RESULT_HEADERS,
+    fault_budget,
+    print_banner,
+    run_campaign,
+    summarize_rows,
+)
+
+from repro.analysis import ascii_table, paper_vs_measured
+from repro.units import GIB
+from repro.workload.spec import AccessPattern, WorkloadSpec
+
+
+def regenerate_sec4d():
+    faults = max(6, fault_budget("sec4d_pattern"))
+    results = {}
+    for index, pattern in enumerate((AccessPattern.RANDOM, AccessPattern.SEQUENTIAL)):
+        spec = WorkloadSpec(
+            wss_bytes=64 * GIB,
+            read_fraction=0.0,
+            pattern=pattern,
+            outstanding=16,
+        )
+        results[pattern.value] = run_campaign(
+            spec, faults=faults, seed=450 + index, label=pattern.value
+        )
+    return results
+
+
+def test_sec4d_access_pattern(benchmark):
+    results = benchmark.pedantic(regenerate_sec4d, rounds=1, iterations=1)
+
+    print_banner(
+        "§IV-D: random vs sequential access pattern",
+        ["sequential_excess_percent"],
+    )
+    print(ascii_table(RESULT_HEADERS, summarize_rows(results)))
+    random_loss = results["random"].data_loss_per_fault
+    seq_loss = results["sequential"].data_loss_per_fault
+    excess = (seq_loss / random_loss - 1) * 100 if random_loss else float("inf")
+    print()
+    print(
+        paper_vs_measured(
+            [["sequential excess (%)", "+14", f"{excess:+.0f}", "shape"]]
+        )
+    )
+
+    # Shape 1: both patterns lose data.
+    assert random_loss > 0 and seq_loss > 0
+    # Shape 2: sequential loses more (the extent-entry mechanism), in the
+    # right magnitude band — more than random but not an order of magnitude.
+    assert seq_loss > random_loss, (seq_loss, random_loss)
+    assert seq_loss <= 3.0 * random_loss, (seq_loss, random_loss)

@@ -1,0 +1,75 @@
+"""Table I — The experimental drive population (six units, three models).
+
+Paper: two units each of model A (256 GB MLC, 2013), B (120 GB TLC with
+LDPC, 2015), and C (120 GB MLC, year N/A); every model suffered failures
+under power faults (echoing Zheng et al.'s 13-of-15 result).  The bench
+runs the same write workload across all six simulated units and regenerates
+a per-model results table.
+"""
+
+from _common import fault_budget, print_banner, run_campaign
+
+from repro.analysis import ascii_table
+from repro.ssd import models
+from repro.units import GIB
+from repro.workload.spec import WorkloadSpec
+
+
+def regenerate_table1():
+    faults = max(3, fault_budget("fig5_request_type") // 6)
+    spec = WorkloadSpec(wss_bytes=16 * GIB, read_fraction=0.0, outstanding=16)
+    results = {}
+    for index, (unit_name, config) in enumerate(sorted(models.table_one_units().items())):
+        results[unit_name] = run_campaign(
+            spec, faults=faults, seed=1100 + index, config=config, label=unit_name
+        )
+    return results
+
+
+def test_table1_devices(benchmark):
+    results = benchmark.pedantic(regenerate_table1, rounds=1, iterations=1)
+
+    print_banner("Table I: six units, three drive models", [])
+    configs = models.table_one_units()
+    print(
+        ascii_table(
+            ["unit", "size", "cell", "ECC", "year", "faults", "data loss", "loss/fault"],
+            [
+                [
+                    name,
+                    f"{configs[name].capacity_bytes // GIB}G",
+                    configs[name].cell.name,
+                    configs[name].ecc.name,
+                    configs[name].release_year or "N/A",
+                    r.faults,
+                    r.total_data_loss,
+                    f"{r.data_loss_per_fault:.2f}",
+                ]
+                for name, r in results.items()
+            ],
+        )
+    )
+
+    by_model = {}
+    for name, result in results.items():
+        model = name.split("#")[0]
+        by_model.setdefault(model, []).append(result)
+
+    # Shape 1: every unit of every model loses data under power faults.
+    for name, result in results.items():
+        assert result.total_data_loss > 0, name
+    # Shape 2: the two units of each model behave consistently (same
+    # firmware): within a loose band of each other.
+    for model, pair in by_model.items():
+        a, b = (p.data_loss_per_fault for p in pair)
+        assert min(a, b) > 0
+        assert max(a, b) <= 4.0 * min(a, b) + 2.0, (model, a, b)
+    # Shape 3: model C (weakest recovery scan) loses at least as much as A
+    # (merged over both units to damp noise).
+    merged = {
+        model: pair[0].merged_with(pair[1]) for model, pair in by_model.items()
+    }
+    assert (
+        merged["ssd-c"].data_loss_per_fault
+        >= 0.8 * merged["ssd-a"].data_loss_per_fault
+    )

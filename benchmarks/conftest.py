@@ -1,0 +1,13 @@
+"""Pytest configuration for the reproduction benches.
+
+Benches print the regenerated tables/figures; ``-s`` is implied by running
+``pytest benchmarks/ --benchmark-only`` with output capture left on — the
+rendered tables are still written to stdout and shown for failed assertions;
+pass ``-s`` to see them live.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `from _common import ...` regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Fig. 4: the PSU discharge waveform.
+
+Captures the simulated 5 V rail with an oscilloscope-style probe during a
+power cut, unloaded (Fig. 4a) and with one SSD attached (Fig. 4b), and
+renders both waveforms as ASCII plots with the paper's three anchors marked:
+
+- unloaded full discharge ~1400 ms,
+- loaded full discharge ~900 ms,
+- host-detach crossing (4.5 V) at ~40 ms under load.
+
+Run:
+    python examples/discharge_waveform.py
+"""
+
+from repro.core.experiment import run_discharge_capture
+
+
+def plot(waveform, title, width=64):
+    print(f"\n{title}")
+    print("-" * len(title))
+    step = max(1, len(waveform) // 24)
+    for t_ms, volts in waveform[::step]:
+        bar = "#" * round(width * volts / 5.0)
+        print(f"{t_ms:7.0f} ms | {bar} {volts:.2f} V")
+
+
+def first_below(waveform, volts):
+    for t_ms, v in waveform:
+        if v < volts:
+            return t_ms
+    return None
+
+
+def main() -> None:
+    print("capturing Fig. 4a (no load on the rail)...")
+    unloaded = run_discharge_capture(with_device=False, sample_interval_us=10_000)
+    print("capturing Fig. 4b (one SSD attached)...")
+    loaded = run_discharge_capture(with_device=True, sample_interval_us=10_000)
+
+    plot(unloaded, "Fig. 4a — unloaded PSU output after PS_ON# deasserts")
+    plot(loaded, "Fig. 4b — PSU output with one SSD on the rail")
+
+    print()
+    print(f"unloaded full discharge : {first_below(unloaded, 0.06):7.0f} ms (paper: ~1400 ms)")
+    print(f"loaded full discharge   : {first_below(loaded, 0.06):7.0f} ms (paper:  ~900 ms)")
+    print(f"loaded 4.5 V crossing   : {first_below(loaded, 4.5):7.0f} ms (paper:   ~40 ms)")
+    print()
+    print(
+        "The ~40 ms of regulated hold-up followed by hundreds of\n"
+        "milliseconds of decay is the window prior transistor-based\n"
+        "testbeds never exercised — and where marginal programs happen."
+    )
+
+
+if __name__ == "__main__":
+    main()

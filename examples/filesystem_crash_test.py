@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Application-level operations under power faults.
+
+The paper's related-work section (§II) lists "type of application level
+operations" among the workload parameters prior studies neglected.  This
+example studies it: a journaling filesystem (repro.fs) runs three
+application patterns on the simulated SSD —
+
+- ``append-sync``   : log-style appends with fsync after every record,
+- ``overwrite``     : database-style in-place page overwrites, no sync,
+- ``create-many``   : metadata-heavy small-file creation,
+
+— then the power is cut mid-workload, the filesystem remounts, and the
+crash-consistency audit reports what each pattern lost.
+
+Run:
+    python examples/filesystem_crash_test.py
+"""
+
+from repro.analysis import ascii_table
+from repro.fs import FileSystem, FileVerdict, FsExpectation, audit_filesystem
+from repro.host import HostSystem
+from repro.ssd import models
+from repro.units import GIB
+
+
+def run_pattern(label, seed, workload):
+    host = HostSystem(config=models.ssd_a(), seed=seed)
+    host.boot()
+    fs = FileSystem(host)
+    fs.format()
+    expectations = workload(fs)
+
+    host.cut_power()
+    host.run_for_ms(1500)
+    host.restore_power()
+    host.wait_until_ready()
+
+    fresh = FileSystem(host, cas=fs.cas)
+    report = fresh.mount()
+    audit = audit_filesystem(fresh, expectations)
+    return {
+        "pattern": label,
+        "files": len(expectations),
+        "replayed": report.transactions_replayed,
+        "discarded": report.transactions_discarded,
+        "intact": audit.count(FileVerdict.INTACT),
+        "rolled back": audit.count(FileVerdict.ROLLED_BACK),
+        "lost synced": audit.durability_violations,
+        "corrupt": audit.count(FileVerdict.CORRUPT),
+    }
+
+
+def append_sync_workload(fs):
+    expectations = []
+    for index in range(6):
+        name = f"log{index}.dat"
+        fs.create(name)
+        expect = FsExpectation(name)
+        content = b""
+        for record in range(3):
+            content = content + bytes([index * 16 + record]) * 4096
+            fs.write_file(name, content, sync=True)
+            expect.note_write(content)
+            expect.note_sync()
+        expectations.append(expect)
+    return expectations
+
+
+def overwrite_workload(fs):
+    expectations = []
+    for index in range(6):
+        name = f"table{index}.db"
+        fs.create(name)
+        expect = FsExpectation(name)
+        fs.write_file(name, bytes([index]) * 8192, sync=True)
+        expect.note_write(bytes([index]) * 8192)
+        expect.note_sync()
+        # Unsynced in-place overwrite right before the fault.
+        fs.write_file(name, bytes([index + 100]) * 8192)
+        expect.note_write(bytes([index + 100]) * 8192)
+        expectations.append(expect)
+    return expectations
+
+
+def create_many_workload(fs):
+    expectations = []
+    for index in range(24):
+        name = f"tiny{index:03d}"
+        fs.create(name)
+        expect = FsExpectation(name)
+        fs.write_file(name, bytes([index % 256]) * 512)
+        expect.note_write(bytes([index % 256]) * 512)
+        expectations.append(expect)
+    return expectations
+
+
+def main() -> None:
+    rows = []
+    for label, seed, workload in (
+        ("append-sync", 81, append_sync_workload),
+        ("overwrite", 82, overwrite_workload),
+        ("create-many", 83, create_many_workload),
+    ):
+        print(f"running {label} ...")
+        rows.append(run_pattern(label, seed, workload))
+    headers = list(rows[0].keys())
+    print()
+    print(
+        ascii_table(
+            headers,
+            [[row[h] for h in headers] for row in rows],
+            title="power fault mid-workload, then remount + audit",
+        )
+    )
+    print()
+    print(
+        "Reading the table:\n"
+        "- fsync'd state survives (the FLUSH barrier checkpoints both the\n"
+        "  FS journal and the FTL's volatile map);\n"
+        "- unsynced overwrites and fresh files may roll back — that is the\n"
+        "  crash-consistency contract, not a bug;\n"
+        "- 'lost synced' or 'corrupt' entries would indicate the paper's\n"
+        "  failure classes reaching through the filesystem."
+    )
+
+
+if __name__ == "__main__":
+    main()

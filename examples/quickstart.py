@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: one fault-injection campaign, end to end.
+
+Builds the paper's test platform around a generic SSD, runs a small
+campaign of realistic power faults against a random write workload, and
+prints the failure taxonomy the Analyzer produced — data failures, False
+Write-Acknowledges, and IO errors, exactly the three classes of §III-B.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import Campaign, CampaignConfig, TestPlatform, WorkloadSpec
+from repro.analysis import ascii_table
+from repro.units import GIB
+
+
+def main() -> None:
+    # A workload like the paper's common configuration: uniform-random
+    # writes, request sizes 4 KiB - 1 MiB, on a 16 GiB working set.
+    spec = WorkloadSpec(
+        wss_bytes=16 * GIB,
+        read_fraction=0.0,
+        outstanding=16,
+    )
+    platform = TestPlatform(spec, seed=2024)
+    print(f"platform: {platform.describe()}")
+    print("injecting 8 power faults (PSU discharge, detach at 4.5 V)...")
+
+    result = Campaign(platform, CampaignConfig(faults=8)).run("quickstart")
+
+    print()
+    print(
+        ascii_table(
+            ["cycle", "fault t (s)", "completed", "data failures", "FWA", "IO errors"],
+            [
+                [
+                    c.cycle_index,
+                    f"{c.fault_time_us / 1e6:.2f}",
+                    c.requests_completed,
+                    c.data_failures,
+                    c.fwa_failures,
+                    c.io_errors,
+                ]
+                for c in result.cycles
+            ],
+            title="per-fault results",
+        )
+    )
+    print()
+    summary = result.summary()
+    print(f"total requests completed : {summary['requests_completed']}")
+    print(f"data failures            : {summary['data_failures']}")
+    print(f"false write-acks (FWA)   : {summary['fwa']}")
+    print(f"IO errors                : {summary['io_errors']}")
+    print(f"data loss per power fault: {summary['loss_per_fault']}")
+    print()
+    print(
+        "The paper's write-heavy experiments observed roughly two data\n"
+        "failures per power fault (§IV-B); the simulated drive should land\n"
+        "in the same ballpark."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Vendor comparison: the paper's Table I drive population under fire.
+
+Runs the same write workload against all six simulated units (two each of
+models A, B, C) plus two extension devices — an enterprise drive with
+power-loss-protection capacitors and an HDD-like control — and compares
+their failure profiles, echoing the paper's finding (and Zheng et al.'s)
+that essentially every consumer drive loses data under power faults while
+protected designs do not.
+
+Run:
+    python examples/vendor_comparison.py
+"""
+
+from repro import Campaign, CampaignConfig, TestPlatform, WorkloadSpec
+from repro.analysis import ascii_table
+from repro.ssd import models
+from repro.units import GIB
+
+
+def main() -> None:
+    spec = WorkloadSpec(wss_bytes=8 * GIB, read_fraction=0.0, outstanding=16)
+    population = dict(models.table_one_units())
+    population["enterprise-plp"] = models.ssd_enterprise_supercap()
+    population["hdd-control"] = models.hdd_like_control()
+
+    rows = []
+    for index, (name, config) in enumerate(sorted(population.items())):
+        platform = TestPlatform(spec, config=config, seed=3000 + index)
+        result = Campaign(platform, CampaignConfig(faults=5)).run(name)
+        rows.append(
+            [
+                name,
+                config.cell.name,
+                config.ecc.name,
+                "yes" if config.supercap else "no",
+                result.total_data_loss,
+                result.fwa_failures,
+                result.io_errors,
+                f"{result.data_loss_per_fault:.2f}",
+            ]
+        )
+        print(f"  finished {name}")
+
+    print()
+    print(
+        ascii_table(
+            ["device", "cell", "ECC", "PLP", "data loss", "FWA", "IO err", "loss/fault"],
+            rows,
+            title="five power faults per device, identical write workload",
+        )
+    )
+    print()
+    print(
+        "Expected pattern: every Table I unit loses data (the paper tested\n"
+        "six drives and none was immune), the supercap-protected enterprise\n"
+        "drive destages its buffer and keeps its map, and the HDD-like\n"
+        "control shows only the unavoidable IO errors."
+    )
+
+
+if __name__ == "__main__":
+    main()

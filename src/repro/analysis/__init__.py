@@ -1,0 +1,40 @@
+"""Result analysis and report rendering.
+
+- :mod:`repro.analysis.stats` — summary statistics, confidence intervals,
+  and the trend tests the benches assert on (flatness for Fig. 6,
+  monotonicity for Fig. 7, saturation for Fig. 8);
+- :mod:`repro.analysis.report` — ASCII tables and bar series that mirror
+  the paper's figures in terminal output.
+"""
+
+from repro.analysis.export import (
+    campaign_to_dict,
+    save_campaign_csv,
+    save_campaign_json,
+    save_series_csv,
+    save_sweep_csv,
+)
+from repro.analysis.report import ascii_bar_series, ascii_table, paper_vs_measured
+from repro.analysis.stats import (
+    mean,
+    proportion_confidence_interval,
+    relative_spread,
+    saturation_point,
+    stdev,
+)
+
+__all__ = [
+    "ascii_bar_series",
+    "ascii_table",
+    "campaign_to_dict",
+    "save_campaign_csv",
+    "save_campaign_json",
+    "save_series_csv",
+    "save_sweep_csv",
+    "mean",
+    "paper_vs_measured",
+    "proportion_confidence_interval",
+    "relative_spread",
+    "saturation_point",
+    "stdev",
+]

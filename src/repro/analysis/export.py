@@ -1,0 +1,99 @@
+"""Result export: CSV and JSON for downstream plotting.
+
+The benches print ASCII; anyone regenerating the paper's figures in a
+plotting tool wants machine-readable series.  These helpers serialise
+campaign results and sweep series losslessly and dependency-free.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.core.results import CampaignResult
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def campaign_to_dict(result: CampaignResult) -> Dict:
+    """Full JSON-safe dump of one campaign (summary + per-cycle rows)."""
+    return {
+        "label": result.label,
+        "summary": result.summary(),
+        "cycles": [
+            {
+                "cycle": cycle.cycle_index,
+                "fault_time_us": cycle.fault_time_us,
+                "requests_completed": cycle.requests_completed,
+                "writes_completed": cycle.writes_completed,
+                "reads_completed": cycle.reads_completed,
+                "data_failures": cycle.data_failures,
+                "fwa": cycle.fwa_failures,
+                "io_errors": cycle.io_errors,
+                "stranded_map_updates": cycle.stranded_map_updates,
+                "dirty_pages_lost": cycle.dirty_pages_lost,
+            }
+            for cycle in result.cycles
+        ],
+    }
+
+
+def save_campaign_json(result: CampaignResult, path: PathLike) -> None:
+    """Write one campaign as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(campaign_to_dict(result), indent=2), encoding="utf-8"
+    )
+
+
+def save_campaign_csv(result: CampaignResult, path: PathLike) -> int:
+    """Write per-cycle rows as CSV.  Returns the row count."""
+    rows = campaign_to_dict(result)["cycles"]
+    if not rows:
+        raise ConfigurationError("campaign has no cycles to export")
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def save_sweep_csv(
+    results: Dict, path: PathLike, x_label: str = "x"
+) -> int:
+    """Write a sweep (x -> CampaignResult) as one summary row per point."""
+    if not results:
+        raise ConfigurationError("empty sweep")
+    rows = []
+    for x_value, result in results.items():
+        summary = result.summary()
+        summary[x_label] = x_value
+        rows.append(summary)
+    field_names = [x_label] + [k for k in rows[0] if k != x_label]
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=field_names)
+        writer.writeheader()
+        writer.writerows(rows)
+    return len(rows)
+
+
+def save_series_csv(
+    path: PathLike,
+    columns: Dict[str, Sequence],
+) -> int:
+    """Write aligned columns (e.g. a waveform) as CSV.  Returns row count."""
+    if not columns:
+        raise ConfigurationError("no columns to export")
+    lengths = {len(values) for values in columns.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError("columns must have equal length")
+    names = list(columns)
+    row_count = lengths.pop()
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for index in range(row_count):
+            writer.writerow([columns[name][index] for name in names])
+    return row_count

@@ -1,0 +1,84 @@
+"""ASCII rendering of experiment output.
+
+The benches regenerate the paper's tables/figures as terminal output: an
+aligned table of the measured rows plus a bar series that mirrors the
+figure's shape, and a paper-vs-measured block quoting the calibration
+anchor being reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render an aligned table.
+
+    >>> print(ascii_table(["a", "b"], [[1, 2]]))
+    a | b
+    --+--
+    1 | 2
+    """
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError("row width does not match headers")
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def ascii_bar_series(
+    labels: Sequence, values: Sequence[float], width: int = 40, title: str = ""
+) -> str:
+    """Render a horizontal bar chart (the figure's shape, in a terminal).
+
+    >>> print(ascii_bar_series(["x"], [1.0], width=4))
+    x | #### 1
+    """
+    if len(labels) != len(values):
+        raise ConfigurationError("labels and values must align")
+    if width <= 0:
+        raise ConfigurationError("width must be positive")
+    peak = max(values) if values else 0.0
+    label_width = max((len(str(label)) for label in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_len = 0 if peak <= 0 else round(width * value / peak)
+        pretty = f"{value:g}" if isinstance(value, float) else str(value)
+        lines.append(f"{str(label).ljust(label_width)} | {'#' * bar_len} {pretty}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Sequence[Sequence], title: str = "paper vs measured"
+) -> str:
+    """Render the EXPERIMENTS.md-style comparison block.
+
+    Each row is ``(quantity, paper_value, measured_value, verdict)``.
+    """
+    return ascii_table(
+        ["quantity", "paper", "measured", "verdict"], rows, title=title
+    )
+
+
+def format_float(value: Optional[float], digits: int = 2) -> str:
+    """Stable float formatting for tables ('-' for None)."""
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"

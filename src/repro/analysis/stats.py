@@ -1,0 +1,108 @@
+"""Summary statistics used by benches and tests.
+
+Small, dependency-light implementations (math only) so assertions in the
+test suite don't pull in scipy for trivial quantities.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) / (len(values) - 1))
+
+
+def relative_spread(values: Sequence[float]) -> float:
+    """(max - min) / mean — the flatness metric for the Fig. 6 claim.
+
+    Returns 0.0 when the mean is zero.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    center = mean(values)
+    if center == 0:
+        return 0.0
+    return (max(values) - min(values)) / center
+
+
+def proportion_confidence_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    >>> lo, hi = proportion_confidence_interval(10, 100)
+    >>> 0.04 < lo < 0.1 < hi < 0.18
+    True
+    """
+    if trials <= 0:
+        raise ConfigurationError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ConfigurationError("successes out of range")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    center = (p + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    low = max(0.0, min(p, center - margin))  # numerical guard: lo <= p
+    high = min(1.0, max(p, center + margin))
+    return (low, high)
+
+
+def saturation_point(
+    xs: Sequence[float], ys: Sequence[float], tolerance: float = 0.05
+) -> Optional[float]:
+    """First x beyond which y stops growing (within ``tolerance`` of max).
+
+    Used for the Fig. 8 responded-IOPS plateau.  Returns None if y is still
+    growing at the last point.
+    """
+    if len(xs) != len(ys):
+        raise ConfigurationError("xs and ys must have equal length")
+    if not xs:
+        return None
+    peak = max(ys)
+    if peak <= 0:
+        return None
+    for x, y in zip(xs, ys):
+        if y >= peak * (1 - tolerance):
+            return x
+    return None
+
+
+def is_monotone_decreasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True when each value is <= the previous (within ``slack`` relative)."""
+    values = list(values)
+    for previous, current in zip(values, values[1:]):
+        if current > previous * (1 + slack):
+            return False
+    return True
+
+
+def is_monotone_increasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True when each value is >= the previous (within ``slack`` relative)."""
+    values = list(values)
+    for previous, current in zip(values, values[1:]):
+        if current < previous * (1 - slack):
+            return False
+    return True

@@ -1,0 +1,52 @@
+"""Backup-energy model (super-capacitors / batteries).
+
+High-end drives hold enough stored energy to destage the write buffer and
+checkpoint the mapping table after the supply fails (paper §I: "some
+high-end devices employ batteries and super-capacitors while low-end devices
+do not support such costly recovery schemes").  None of the paper's Table I
+drives has one — the model exists for the ablation/extension benches that
+show what the mechanism buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MSEC
+
+
+@dataclass(frozen=True)
+class SupercapBackup:
+    """Stored-energy budget expressed as guaranteed runtime after power loss.
+
+    Attributes
+    ----------
+    hold_time_us:
+        How long the controller, DRAM, and NAND can keep operating from the
+        capacitor bank once the external rail collapses.
+    """
+
+    hold_time_us: int = 30 * MSEC
+
+    def __post_init__(self) -> None:
+        if self.hold_time_us <= 0:
+            raise ConfigurationError("supercap hold time must be positive")
+
+    def can_destage(self, dirty_pages: int, page_write_us: int, parallelism: int) -> bool:
+        """Whether the full dirty set fits in the energy budget."""
+        return self.destage_time_us(dirty_pages, page_write_us, parallelism) <= self.hold_time_us
+
+    def destage_time_us(self, dirty_pages: int, page_write_us: int, parallelism: int) -> int:
+        """Time to flush ``dirty_pages`` with ``parallelism`` concurrent programs."""
+        if dirty_pages < 0 or page_write_us <= 0 or parallelism <= 0:
+            raise ConfigurationError("invalid destage parameters")
+        rounds = -(-dirty_pages // parallelism)
+        return rounds * page_write_us
+
+    def destageable_pages(self, page_write_us: int, parallelism: int) -> int:
+        """How many pages fit in the budget (partial destage on overrun)."""
+        if page_write_us <= 0 or parallelism <= 0:
+            raise ConfigurationError("invalid destage parameters")
+        rounds = self.hold_time_us // page_write_us
+        return rounds * parallelism

@@ -1,0 +1,323 @@
+"""Command-line interface.
+
+Gives the testbed a shell entry point, mirroring how the paper's platform
+was driven: pick a device and a workload, inject faults, read the Analyzer's
+verdicts.
+
+Usage (installed or via ``python -m repro``)::
+
+    python -m repro list-devices
+    python -m repro campaign --device ssd-a --faults 10 --read-pct 0
+    python -m repro discharge --load
+    python -m repro post-ack --intervals 50,250,450,800
+    python -m repro smart --device ssd-b --faults 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import ascii_table
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.experiment import run_discharge_capture, run_post_ack_sweep
+from repro.core.platform import TestPlatform
+from repro.ssd import models
+from repro.units import GIB, KIB
+from repro.workload.spec import AccessPattern, WorkloadSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SSD power-outage fault-injection testbed (DATE'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-devices", help="show the device presets (Table I + extras)")
+
+    campaign = sub.add_parser("campaign", help="run a fault-injection campaign")
+    campaign.add_argument("--device", default="ssd-a", help="device preset name")
+    campaign.add_argument("--faults", type=int, default=10)
+    campaign.add_argument("--seed", type=int, default=1)
+    campaign.add_argument("--wss-gib", type=int, default=16)
+    campaign.add_argument("--read-pct", type=int, default=0, choices=range(0, 101), metavar="0-100")
+    campaign.add_argument("--size-min-kib", type=int, default=4)
+    campaign.add_argument("--size-max-kib", type=int, default=1024)
+    campaign.add_argument(
+        "--pattern", choices=["random", "sequential"], default="random"
+    )
+    campaign.add_argument(
+        "--sequence", choices=["RAR", "RAW", "WAR", "WAW"], default=None
+    )
+    campaign.add_argument("--iops", type=float, default=None, help="open-loop requested IOPS")
+    campaign.add_argument("--per-cycle", action="store_true", help="print per-fault rows")
+
+    discharge = sub.add_parser("discharge", help="capture the Fig. 4 PSU waveform")
+    group = discharge.add_mutually_exclusive_group()
+    group.add_argument("--load", dest="load", action="store_true", default=True)
+    group.add_argument("--no-load", dest="load", action="store_false")
+    discharge.add_argument("--samples", type=int, default=20, help="rows to print")
+
+    post_ack = sub.add_parser("post-ack", help="run the §IV-A post-ACK interval sweep")
+    post_ack.add_argument("--intervals", default="50,250,450,800")
+    post_ack.add_argument("--cycles", type=int, default=3)
+    post_ack.add_argument("--burst", type=int, default=30)
+    post_ack.add_argument("--seed", type=int, default=1)
+
+    smart = sub.add_parser("smart", help="campaign, then print the SMART snapshot")
+    smart.add_argument("--device", default="ssd-a")
+    smart.add_argument("--faults", type=int, default=3)
+    smart.add_argument("--seed", type=int, default=1)
+
+    fleet = sub.add_parser(
+        "fleet", help="run the Table I population (six units) and rank by loss"
+    )
+    fleet.add_argument("--faults", type=int, default=4)
+    fleet.add_argument("--seed", type=int, default=1)
+    fleet.add_argument("--wss-gib", type=int, default=8)
+
+    replay = sub.add_parser(
+        "replay", help="replay a captured trace against a device, optionally with a fault"
+    )
+    replay.add_argument("trace", help="trace file (JSON lines, or blkparse text with --blkparse)")
+    replay.add_argument("--blkparse", action="store_true", help="parse blkparse-format text")
+    replay.add_argument("--device", default="ssd-a")
+    replay.add_argument("--seed", type=int, default=1)
+    replay.add_argument(
+        "--fault-ms",
+        type=float,
+        default=None,
+        help="inject a power fault this many ms into the replay",
+    )
+
+    return parser
+
+
+def _cmd_list_devices() -> int:
+    rows = []
+    for name in models.preset_names():
+        config = models.by_name(name)
+        rows.append(
+            [
+                name,
+                f"{config.capacity_bytes // GIB}G",
+                config.cell.name,
+                config.ecc.name,
+                "yes" if config.cache_enabled else "no",
+                "yes" if config.supercap else "no",
+                config.release_year or "N/A",
+            ]
+        )
+    print(
+        ascii_table(
+            ["preset", "size", "cell", "ECC", "cache", "PLP", "year"], rows
+        )
+    )
+    return 0
+
+
+def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    return WorkloadSpec(
+        wss_bytes=args.wss_gib * GIB,
+        read_fraction=args.read_pct / 100.0,
+        size_min_bytes=args.size_min_kib * KIB,
+        size_max_bytes=args.size_max_kib * KIB,
+        pattern=AccessPattern(args.pattern),
+        requested_iops=args.iops,
+        sequence=args.sequence,
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    config = models.by_name(args.device)
+    platform = TestPlatform(_spec_from_args(args), config=config, seed=args.seed)
+    print(f"running {args.faults} faults against {platform.describe()} ...")
+    result = Campaign(platform, CampaignConfig(faults=args.faults)).run()
+    if args.per_cycle:
+        print(
+            ascii_table(
+                ["cycle", "completed", "data failures", "FWA", "IO errors"],
+                [
+                    [c.cycle_index, c.requests_completed, c.data_failures, c.fwa_failures, c.io_errors]
+                    for c in result.cycles
+                ],
+            )
+        )
+    summary = result.summary()
+    print(
+        ascii_table(
+            list(summary.keys()),
+            [list(summary.values())],
+            title="campaign summary",
+        )
+    )
+    return 0
+
+
+def _cmd_discharge(args: argparse.Namespace) -> int:
+    waveform = run_discharge_capture(with_device=args.load, sample_interval_us=2000)
+    step = max(1, len(waveform) // max(1, args.samples))
+    print(
+        ascii_table(
+            ["t (ms)", "V"],
+            [[f"{t:.0f}", f"{v:.2f}"] for t, v in waveform[::step]],
+            title=f"PSU discharge ({'one SSD attached' if args.load else 'unloaded'})",
+        )
+    )
+    return 0
+
+
+def _cmd_post_ack(args: argparse.Namespace) -> int:
+    try:
+        intervals = [int(part) for part in args.intervals.split(",") if part.strip()]
+    except ValueError:
+        print("--intervals must be a comma-separated list of milliseconds", file=sys.stderr)
+        return 2
+    if not intervals:
+        print("--intervals must name at least one interval", file=sys.stderr)
+        return 2
+    points = run_post_ack_sweep(
+        intervals_ms=intervals,
+        cycles_per_point=args.cycles,
+        burst_requests=args.burst,
+        seed=args.seed,
+    )
+    print(
+        ascii_table(
+            ["interval (ms)", "ACKed", "lost", "loss fraction"],
+            [
+                [p.interval_ms, p.acked_requests, p.lost_requests, f"{p.loss_fraction:.3f}"]
+                for p in points
+            ],
+            title="post-ACK vulnerability window (paper: up to ~700 ms)",
+        )
+    )
+    return 0
+
+
+def _cmd_smart(args: argparse.Namespace) -> int:
+    config = models.by_name(args.device)
+    spec = WorkloadSpec(wss_bytes=8 * GIB, read_fraction=0.0, outstanding=16)
+    platform = TestPlatform(spec, config=config, seed=args.seed)
+    Campaign(platform, CampaignConfig(faults=args.faults)).run()
+    print(platform.ssd.smart_log().render())
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.core.fleet import merge_by_model, rank_by_loss, run_fleet
+
+    spec = WorkloadSpec(
+        wss_bytes=args.wss_gib * GIB, read_fraction=0.0, outstanding=16
+    )
+    results = run_fleet(
+        models.table_one_units(),
+        spec,
+        faults=args.faults,
+        base_seed=args.seed,
+        progress=lambda name, result: print(
+            f"  {name}: {result.total_data_loss} data loss over {result.faults} faults"
+        ),
+    )
+    merged = merge_by_model(results)
+    print()
+    print(
+        ascii_table(
+            ["model", "faults", "data failures", "FWA", "IO errors", "loss/fault"],
+            [
+                [
+                    name,
+                    merged[name].faults,
+                    merged[name].data_failures,
+                    merged[name].fwa_failures,
+                    merged[name].io_errors,
+                    f"{merged[name].data_loss_per_fault:.2f}",
+                ]
+                for name in rank_by_loss(merged)
+            ],
+            title="Table I population, merged per model, worst first",
+        )
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.core.analyzer import Analyzer, FailureKind
+    from repro.host.system import HostSystem
+    from repro.workload.replay import TraceReplayer, WorkloadTrace, parse_blkparse
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"trace file not found: {path}", file=sys.stderr)
+        return 2
+    if args.blkparse:
+        trace = parse_blkparse(path.read_text().splitlines())
+    else:
+        trace = WorkloadTrace.load(path)
+    if not len(trace):
+        print("trace contains no replayable requests", file=sys.stderr)
+        return 2
+    host = HostSystem(config=models.by_name(args.device), seed=args.seed)
+    host.boot()
+    analyzer = Analyzer(host)
+    replayer = TraceReplayer(host, trace)
+    replayer.start()
+    fault_injected = False
+    if args.fault_ms is not None:
+        host.run_for(round(args.fault_ms * 1000))
+        host.cut_power()
+        host.run_for_ms(1500)
+        host.restore_power()
+        host.wait_until_ready()
+        fault_injected = True
+    else:
+        host.run_for(trace.duration_us + 2_000_000)
+    acked = replayer.acked_writes
+    unacked = [p for p in replayer.packets if p.is_write and not p.acked]
+    outcome = analyzer.verify_cycle(0, acked, unacked)
+    print(
+        ascii_table(
+            ["requests", "ACKed writes", "data failures", "FWA", "IO errors"],
+            [
+                [
+                    replayer.submitted,
+                    len(acked),
+                    outcome.count(FailureKind.DATA_FAILURE),
+                    outcome.count(FailureKind.FWA),
+                    outcome.count(FailureKind.IO_ERROR),
+                ]
+            ],
+            title=f"replay of {path.name} on {args.device}"
+            + (" (fault injected)" if fault_injected else ""),
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-devices":
+        return _cmd_list_devices()
+    if args.command == "campaign":
+        return _cmd_campaign(args)
+    if args.command == "discharge":
+        return _cmd_discharge(args)
+    if args.command == "post-ack":
+        return _cmd_post_ack(args)
+    if args.command == "smart":
+        return _cmd_smart(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

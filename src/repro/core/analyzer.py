@@ -1,0 +1,220 @@
+"""The Analyzer: checksum comparison and the §III-B failure taxonomy.
+
+After each fault cycle (power restored, device recovered) the Analyzer reads
+back every address the cycle's acknowledged writes touched and classifies
+each write packet with the paper's two flags:
+
+- ``completed`` — the btt-derived flag: all sub-requests finished OK.  A
+  packet that never completed is an **IO error** (taxonomy case 3).
+- ``notApplied`` — the written data is absent *and* the address still holds
+  exactly what it held before the request issued.  With ``completed=1`` that
+  is a **False Write-Acknowledge** (case 1).
+- ``completed=1`` with a checksum mismatch that is *not* the prior content
+  is a **data failure** (case 2).
+
+A write that a *later* acknowledged write legitimately superseded is judged
+against the superseding chain: if the address holds any later writer's data
+the earlier packet cannot be blamed.  When both members of a WAW pair are
+lost, the earlier one rolls back to the pre-pair content (FWA) and the later
+one mismatches everything (data failure) — two failures from one fault,
+exactly the amplification §IV-G reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.host.system import HostSystem
+from repro.ssd.device import CORRUPT_TOKEN
+from repro.workload.checksum import TOKEN_ZERO
+from repro.workload.packet import DataPacket
+
+
+class FailureKind(enum.Enum):
+    """The paper's three IO-failure classes (§III-B)."""
+
+    DATA_FAILURE = "data_failure"
+    FWA = "false_write_ack"
+    IO_ERROR = "io_error"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One classified failure."""
+
+    kind: FailureKind
+    packet_id: int
+    lpn: int
+    cycle_index: int
+    observed_token: Optional[int] = None
+    expected_token: Optional[int] = None
+
+
+@dataclass
+class VerificationOutcome:
+    """Everything one verification pass produced."""
+
+    records: List[FailureRecord]
+    packets_checked: int
+    pages_checked: int
+
+    def count(self, kind: FailureKind) -> int:
+        """Failures of one kind."""
+        return sum(1 for r in self.records if r.kind is kind)
+
+
+class Analyzer:
+    """Stateful verifier over one host system.
+
+    Keeps a persistent per-LPN *expected content* ledger across fault
+    cycles: after each verification the ledger is reconciled with what the
+    device actually holds, so the next cycle's "checksum before issuing the
+    request" references (Fig. 2's Initial Checksum) are exact.
+    """
+
+    def __init__(self, host: Optional[HostSystem] = None, peek=None) -> None:
+        if host is None and peek is None:
+            raise ValueError("Analyzer needs a host system or a peek callable")
+        self.host = host
+        self._peek = peek if peek is not None else host.ssd.peek
+        self._expected: Dict[int, int] = {}  # lpn -> token (TOKEN_ZERO if absent)
+        # Statistics.
+        self.total_records: int = 0
+        self.packets_verified: int = 0
+
+    @classmethod
+    def from_peek(cls, peek) -> "Analyzer":
+        """Standalone checker over any ``peek(lpn) -> token|None`` source.
+
+        This is the diskchecker-style usage: the peek callable can read a
+        real block device (returning per-page checksums) instead of the
+        simulated one — the taxonomy logic is identical.
+        """
+        return cls(host=None, peek=peek)
+
+    # -- reference bookkeeping ---------------------------------------------------------
+
+    def expected_at(self, lpn: int) -> int:
+        """Verified content of ``lpn`` as of the last reconciliation."""
+        return self._expected.get(lpn, TOKEN_ZERO)
+
+    def snapshot_initial_checksums(self, packet: DataPacket) -> None:
+        """Fill the packet's Initial Checksum header field (Fig. 2)."""
+        packet.initial_checksums = [self.expected_at(lpn) for lpn in packet.lpns()]
+
+    # -- verification --------------------------------------------------------------------
+
+    def verify_cycle(
+        self,
+        cycle_index: int,
+        completed_writes: Sequence[DataPacket],
+        failed_packets: Sequence[DataPacket],
+    ) -> VerificationOutcome:
+        """Classify one cycle's packets after recovery.
+
+        ``completed_writes`` are ACKed write packets (any order);
+        ``failed_packets`` are requests that never completed (IO errors).
+        """
+        records: List[FailureRecord] = []
+        ordered = sorted(completed_writes, key=lambda p: p.complete_time)
+
+        # Build per-LPN write chains: [(ack_order, packet, token), ...]
+        chains: Dict[int, List[Tuple[int, DataPacket, int]]] = {}
+        for order, packet in enumerate(ordered):
+            for lpn in packet.lpns():
+                chains.setdefault(lpn, []).append(
+                    (order, packet, packet.token_for(lpn))
+                )
+
+        observed_cache: Dict[int, Optional[int]] = {}
+
+        def observe(lpn: int) -> Optional[int]:
+            if lpn not in observed_cache:
+                observed_cache[lpn] = self._peek(lpn)
+            return observed_cache[lpn]
+
+        pages_checked = 0
+        failed_page: Dict[int, Tuple[FailureKind, int, Optional[int], int]] = {}
+
+        for lpn, chain in chains.items():
+            observed = observe(lpn)
+            observed_token = TOKEN_ZERO if observed is None else observed
+            pages_checked += len(chain)
+            chain_tokens = [token for _, _, token in chain]
+            prior = self.expected_at(lpn)
+            for index, (order, packet, token) in enumerate(chain):
+                if observed_token == token:
+                    continue  # this write's data is present
+                if observed_token in chain_tokens[index + 1 :]:
+                    continue  # legitimately superseded by a later write
+                # This packet's data is gone.  notApplied: the address holds
+                # exactly what it held before THIS packet issued.
+                prior_for_packet = chain_tokens[index - 1] if index > 0 else prior
+                if observed_token == prior_for_packet and observed_token != CORRUPT_TOKEN:
+                    kind = FailureKind.FWA
+                else:
+                    kind = FailureKind.DATA_FAILURE
+                existing = failed_page.get(packet.packet_id)
+                if existing is None or kind is FailureKind.DATA_FAILURE:
+                    failed_page[packet.packet_id] = (
+                        kind,
+                        lpn,
+                        observed,
+                        token,
+                    )
+
+        # One record per failed packet; data failure outranks FWA.
+        for packet in ordered:
+            verdict = failed_page.get(packet.packet_id)
+            packet.modified = verdict is None
+            packet.data_failure = (
+                verdict is not None and verdict[0] is FailureKind.DATA_FAILURE
+            )
+            if verdict is None:
+                continue
+            kind, lpn, observed, token = verdict
+            records.append(
+                FailureRecord(
+                    kind=kind,
+                    packet_id=packet.packet_id,
+                    lpn=lpn,
+                    cycle_index=cycle_index,
+                    observed_token=observed,
+                    expected_token=token,
+                )
+            )
+
+        # IO errors: completed=0 (taxonomy case 3).
+        for packet in failed_packets:
+            packet.not_issued = True
+            records.append(
+                FailureRecord(
+                    kind=FailureKind.IO_ERROR,
+                    packet_id=packet.packet_id,
+                    lpn=packet.address_lpn,
+                    cycle_index=cycle_index,
+                )
+            )
+
+        # Reconcile the ledger with observed reality so next cycle's Initial
+        # Checksums are exact.
+        for lpn in chains:
+            observed = observed_cache[lpn]
+            self._expected[lpn] = TOKEN_ZERO if observed is None else observed
+
+        self.total_records += len(records)
+        self.packets_verified += len(ordered)
+        return VerificationOutcome(
+            records=records,
+            packets_checked=len(ordered) + len(failed_packets),
+            pages_checked=pages_checked,
+        )
+
+    # -- single-request verification (§IV-A experiment) ------------------------------------
+
+    def verify_single(self, packet: DataPacket, cycle_index: int = 0) -> Optional[FailureRecord]:
+        """Verify one ACKed write in isolation; returns its failure or None."""
+        outcome = self.verify_cycle(cycle_index, [packet], [])
+        return outcome.records[0] if outcome.records else None

@@ -1,0 +1,76 @@
+"""Multi-device campaign fleets.
+
+The paper's population is six drives; campaigns across device zoos are a
+recurring need (Table I regeneration, vendor comparisons, A/B firmware
+studies).  ``run_fleet`` runs one identical workload campaign per device
+config with disjoint seeds, and ``merge_by_model`` folds per-unit results
+into per-model aggregates (the paper reports per model, two units each).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.campaign import Campaign, CampaignConfig
+from repro.core.platform import TestPlatform
+from repro.core.results import CampaignResult
+from repro.errors import CampaignError
+from repro.ssd.device import SsdConfig
+from repro.workload.spec import WorkloadSpec
+
+
+def run_fleet(
+    configs: Dict[str, SsdConfig],
+    spec: WorkloadSpec,
+    faults: int,
+    base_seed: int = 0,
+    campaign_config: Optional[CampaignConfig] = None,
+    progress: Optional[Callable[[str, CampaignResult], None]] = None,
+) -> Dict[str, CampaignResult]:
+    """One campaign per device, identical workload, disjoint seeds.
+
+    ``progress`` (if given) is invoked after each device finishes — examples
+    use it for console feedback on long fleets.
+    """
+    if not configs:
+        raise CampaignError("fleet needs at least one device")
+    if faults <= 0:
+        raise CampaignError("fleet needs a positive fault budget")
+    results: Dict[str, CampaignResult] = {}
+    for index, (name, config) in enumerate(sorted(configs.items())):
+        platform = TestPlatform(spec, config=config, seed=base_seed + index * 101)
+        campaign = Campaign(
+            platform, campaign_config or CampaignConfig(faults=faults)
+        )
+        result = campaign.run(name)
+        results[name] = result
+        if progress is not None:
+            progress(name, result)
+    return results
+
+
+def merge_by_model(results: Dict[str, CampaignResult]) -> Dict[str, CampaignResult]:
+    """Fold unit results (``model#N`` keys) into per-model aggregates.
+
+    Keys without a ``#`` are passed through unchanged (already per-model).
+    """
+    merged: Dict[str, CampaignResult] = {}
+    for name, result in sorted(results.items()):
+        model = name.split("#")[0]
+        if model in merged:
+            merged[model] = merged[model].merged_with(result)
+            merged[model].label = model
+        else:
+            clone = CampaignResult(label=model)
+            clone.cycles = list(result.cycles)
+            clone.traffic_time_us = result.traffic_time_us
+            clone.requests_issued = result.requests_issued
+            merged[model] = clone
+    return merged
+
+
+def rank_by_loss(results: Dict[str, CampaignResult]) -> list:
+    """Device names ordered from most to least data loss per fault."""
+    return sorted(
+        results, key=lambda name: results[name].data_loss_per_fault, reverse=True
+    )

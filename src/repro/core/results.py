@@ -1,0 +1,131 @@
+"""Result records for fault-injection campaigns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.units import to_sec
+
+
+@dataclass
+class FaultCycleResult:
+    """Outcome of one injection cycle (one power fault)."""
+
+    cycle_index: int
+    fault_time_us: int
+    requests_completed: int
+    writes_completed: int
+    reads_completed: int
+    data_failures: int
+    fwa_failures: int
+    io_errors: int
+    stranded_map_updates: int = 0
+    dirty_pages_lost: int = 0
+    collateral_pages: int = 0
+    supercap_pages_saved: int = 0
+
+    @property
+    def total_data_loss(self) -> int:
+        """Data failures + FWA (both are host-visible data loss)."""
+        return self.data_failures + self.fwa_failures
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcome of a whole campaign."""
+
+    label: str
+    cycles: List[FaultCycleResult] = field(default_factory=list)
+    traffic_time_us: int = 0
+    requests_issued: int = 0
+
+    # -- accumulation ---------------------------------------------------------------
+
+    def add_cycle(self, cycle: FaultCycleResult) -> None:
+        """Append one fault cycle's outcome."""
+        self.cycles.append(cycle)
+
+    # -- totals ----------------------------------------------------------------------
+
+    @property
+    def faults(self) -> int:
+        """Number of injected faults."""
+        return len(self.cycles)
+
+    @property
+    def requests_completed(self) -> int:
+        """Requests acknowledged across all cycles."""
+        return sum(c.requests_completed for c in self.cycles)
+
+    @property
+    def data_failures(self) -> int:
+        """Outright corruption count (checksum mismatch, not old data)."""
+        return sum(c.data_failures for c in self.cycles)
+
+    @property
+    def fwa_failures(self) -> int:
+        """False Write-Acknowledge count (old data intact at the address)."""
+        return sum(c.fwa_failures for c in self.cycles)
+
+    @property
+    def io_errors(self) -> int:
+        """Commands lost to device unavailability."""
+        return sum(c.io_errors for c in self.cycles)
+
+    @property
+    def total_data_loss(self) -> int:
+        """Data failures + FWA."""
+        return self.data_failures + self.fwa_failures
+
+    # -- rates ------------------------------------------------------------------------
+
+    @property
+    def data_loss_per_fault(self) -> float:
+        """The paper's headline ratio ('data failure per power fault')."""
+        if not self.cycles:
+            return 0.0
+        return self.total_data_loss / len(self.cycles)
+
+    @property
+    def io_errors_per_fault(self) -> float:
+        """IO errors per injected fault."""
+        if not self.cycles:
+            return 0.0
+        return self.io_errors / len(self.cycles)
+
+    @property
+    def responded_iops(self) -> float:
+        """Completed requests per second of traffic time (Fig. 8's y-axis)."""
+        if self.traffic_time_us <= 0:
+            return 0.0
+        return self.requests_completed / to_sec(self.traffic_time_us)
+
+    @property
+    def fwa_fraction(self) -> float:
+        """Share of data loss that is FWA (Fig. 7's stacked component)."""
+        total = self.total_data_loss
+        return self.fwa_failures / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "faults": self.faults,
+            "requests_completed": self.requests_completed,
+            "data_failures": self.data_failures,
+            "fwa": self.fwa_failures,
+            "total_data_loss": self.total_data_loss,
+            "io_errors": self.io_errors,
+            "loss_per_fault": round(self.data_loss_per_fault, 3),
+            "io_errors_per_fault": round(self.io_errors_per_fault, 3),
+            "responded_iops": round(self.responded_iops, 1),
+            "fwa_fraction": round(self.fwa_fraction, 3),
+        }
+
+    def merged_with(self, other: "CampaignResult") -> "CampaignResult":
+        """Combine two campaigns (e.g. the two units of one Table I model)."""
+        merged = CampaignResult(label=self.label)
+        merged.cycles = list(self.cycles) + list(other.cycles)
+        merged.traffic_time_us = self.traffic_time_us + other.traffic_time_us
+        merged.requests_issued = self.requests_issued + other.requests_issued
+        return merged

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish configuration mistakes from runtime device conditions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly.
+
+    Examples: scheduling an event in the past, running a kernel that has
+    already been shut down, or re-entering ``run`` from inside a handler.
+    """
+
+
+class PowerError(ReproError):
+    """Invalid interaction with the power substrate.
+
+    For instance driving the ATX ``PS_ON#`` pin of a PSU that has no mains
+    input, or probing a rail that does not exist.
+    """
+
+
+class DeviceUnavailableError(ReproError):
+    """An IO command was issued to a device that is not powered/ready.
+
+    Mirrors the host-visible condition the paper reports as *IO error*:
+    the SSD drops off the bus once its supply falls below 4.5 V.
+    """
+
+
+class ProtocolError(ReproError):
+    """A device command violated the link/command protocol.
+
+    E.g. reading past the device capacity or issuing a zero-length request.
+    """
+
+
+class AddressError(ProtocolError):
+    """A logical block address is outside the device's addressable range."""
+
+
+class EccUncorrectableError(ReproError):
+    """Raw bit errors in a page exceeded the ECC correction budget."""
+
+
+class RecoveryError(ReproError):
+    """Power-on recovery could not reconstruct FTL state.
+
+    Corresponds to the catastrophic "unserializable"/"dead device" outcomes
+    reported by Zheng et al. (FAST'13) and referenced by the paper.
+    """
+
+
+class CampaignError(ReproError):
+    """A fault-injection campaign was configured or sequenced incorrectly."""
+
+
+class TraceError(ReproError):
+    """The block-layer tracer was queried for an unknown request or event."""

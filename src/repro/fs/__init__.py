@@ -1,0 +1,54 @@
+"""A small journaling filesystem on the simulated SSD.
+
+The paper's related-work survey (§II) faults prior studies for ignoring the
+"type of application level operations" under power faults, and its
+software-platform ancestor (Kim et al. [17]) tested file systems in the OS
+layer.  This package provides that application layer: an extent-based,
+metadata-journaling filesystem built directly on the block layer, so file
+create/write/fsync/rename-class operations can be studied under the same
+realistic power faults as raw block IO.
+
+Design (deliberately ext3-ordered-mode-shaped):
+
+- 4 KiB blocks; superblock at block 0; a fixed journal region; data beyond;
+- file data is written in place *before* the metadata transaction commits
+  (ordered mode), metadata changes travel as journal transactions
+  ``[TxBegin, records..., TxCommit]``;
+- :meth:`~repro.fs.filesystem.FileSystem.mount` replays committed
+  transactions on top of the last checkpoint and discards torn ones;
+- :mod:`repro.fs.checker` audits a remounted filesystem against the
+  writer's expectations (the fsync contract), classifying per-file damage.
+
+Byte content rides the simulation's token machinery through a
+content-addressed store (:mod:`repro.fs.cas`): every metadata/data page's
+token is derived from its bytes, so "what the device holds" remains the
+single source of truth for recovery.
+"""
+
+from repro.fs.cas import ContentStore
+from repro.fs.checker import FileVerdict, FsAudit, FsExpectation, audit_filesystem
+from repro.fs.filesystem import (
+    FileNotFound,
+    FileSystem,
+    FsCorruption,
+    FsError,
+    MountReport,
+)
+from repro.fs.inode import Inode
+from repro.fs.journal import TxRecord, decode_transactions
+
+__all__ = [
+    "ContentStore",
+    "FileNotFound",
+    "FileSystem",
+    "FileVerdict",
+    "FsAudit",
+    "FsCorruption",
+    "FsError",
+    "FsExpectation",
+    "Inode",
+    "MountReport",
+    "TxRecord",
+    "audit_filesystem",
+    "decode_transactions",
+]

@@ -1,0 +1,72 @@
+"""Content-addressed page store.
+
+The block simulation moves *tokens*, not payload bytes (see
+:mod:`repro.workload.checksum`).  The filesystem needs real byte content
+for its metadata, so it bridges the two worlds content-addressedly:
+
+- writing a page: ``token = address_of(bytes)`` registers the bytes under a
+  collision-checked 63-bit digest and the *token* is what the block layer
+  carries;
+- reading a page: the device returns a token; ``bytes_for(token)`` yields
+  the content **only if that exact token is present on the device** — a
+  corrupted or rolled-back page yields a different (or sentinel) token and
+  the content is unreachable, exactly like real media.
+
+The store is therefore not a cheat around durability: it is the simulation
+equivalent of "the bytes are whatever checksum-verified data the platter
+holds".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional
+
+from repro.errors import ConfigurationError
+
+FS_TOKEN_BIT = 1 << 62
+"""High bit marking filesystem content tokens (disjoint from packet tokens)."""
+
+
+class ContentStore:
+    """Collision-checked digest -> bytes registry."""
+
+    def __init__(self) -> None:
+        self._bytes_by_token: Dict[int, bytes] = {}
+        # Statistics.
+        self.registered = 0
+        self.lookups = 0
+        self.misses = 0
+
+    def address_of(self, payload: bytes) -> int:
+        """Register ``payload`` and return its content token."""
+        if not isinstance(payload, (bytes, bytearray)):
+            raise ConfigurationError("content must be bytes")
+        digest = hashlib.blake2b(bytes(payload), digest_size=7).digest()
+        token = FS_TOKEN_BIT | int.from_bytes(digest, "big")
+        existing = self._bytes_by_token.get(token)
+        if existing is not None:
+            if existing != payload:  # pragma: no cover - 2^-56 event
+                raise ConfigurationError("content digest collision")
+            return token
+        self._bytes_by_token[token] = bytes(payload)
+        self.registered += 1
+        return token
+
+    def bytes_for(self, token: Optional[int]) -> Optional[bytes]:
+        """Content registered under ``token``; None when unknown/corrupt."""
+        self.lookups += 1
+        if token is None:
+            self.misses += 1
+            return None
+        payload = self._bytes_by_token.get(token)
+        if payload is None:
+            self.misses += 1
+        return payload
+
+    def knows(self, token: int) -> bool:
+        """True when the token addresses registered content."""
+        return token in self._bytes_by_token
+
+    def __len__(self) -> int:
+        return len(self._bytes_by_token)

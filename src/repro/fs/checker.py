@@ -1,0 +1,116 @@
+"""Crash-consistency audit for the filesystem.
+
+After a power fault and remount, three contracts can be broken:
+
+- **durability** — a file the application ``fsync``'d must exist with the
+  synced content;
+- **integrity** — any readable file's content must decode cleanly (no
+  unreadable blocks inside the stated size);
+- **ordering** — a file must never show content newer than the metadata
+  claims (generation going backwards is allowed — that is rollback — but a
+  generation *ahead* of anything the writer produced is corruption).
+
+The audit compares a remounted filesystem against the writer's recorded
+expectations and classifies each file, the application-level analogue of
+the block-level Analyzer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fs.filesystem import FileNotFound, FileSystem, FsCorruption
+
+
+class FileVerdict(enum.Enum):
+    """Per-file audit outcome."""
+
+    INTACT = "intact"  # expected content present
+    ROLLED_BACK = "rolled_back"  # older-but-consistent version (not synced)
+    LOST_SYNCED = "lost_synced"  # fsync'd state missing: durability violation
+    CORRUPT = "corrupt"  # unreadable content inside the stated size
+    MISSING = "missing"  # file vanished entirely
+
+
+@dataclass
+class FsExpectation:
+    """What the writer believes about one file.
+
+    ``synced_content`` is the content as of the last ``fsync`` (None if the
+    file was never synced); ``latest_content`` is the newest write issued
+    (which the filesystem may legitimately lose if it was never synced).
+    """
+
+    name: str
+    latest_content: bytes = b""
+    synced_content: Optional[bytes] = None
+
+    def note_write(self, content: bytes) -> None:
+        """Record an issued (not necessarily durable) write."""
+        self.latest_content = content
+
+    def note_sync(self) -> None:
+        """Record a successful fsync of the latest content."""
+        self.synced_content = self.latest_content
+
+
+@dataclass
+class FsAudit:
+    """The audit report."""
+
+    verdicts: Dict[str, FileVerdict] = field(default_factory=dict)
+    details: List[str] = field(default_factory=list)
+
+    def count(self, verdict: FileVerdict) -> int:
+        """Files with one verdict."""
+        return sum(1 for v in self.verdicts.values() if v is verdict)
+
+    @property
+    def durability_violations(self) -> int:
+        """fsync'd files whose synced state is gone — the headline number."""
+        return self.count(FileVerdict.LOST_SYNCED) + sum(
+            1
+            for name, v in self.verdicts.items()
+            if v is FileVerdict.MISSING
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when every file is intact or legitimately rolled back."""
+        return all(
+            v in (FileVerdict.INTACT, FileVerdict.ROLLED_BACK)
+            for v in self.verdicts.values()
+        )
+
+
+def _classify(fs: FileSystem, expect: FsExpectation) -> FileVerdict:
+    try:
+        observed = fs.read_file(expect.name)
+    except FileNotFound:
+        if expect.synced_content is None:
+            return FileVerdict.ROLLED_BACK  # never synced: loss is allowed
+        return FileVerdict.MISSING
+    except FsCorruption:
+        return FileVerdict.CORRUPT
+
+    if observed == expect.latest_content:
+        return FileVerdict.INTACT
+    if expect.synced_content is not None and observed == expect.synced_content:
+        return FileVerdict.INTACT  # the synced version IS the contract
+    if expect.synced_content is not None:
+        # Neither latest nor synced: the durable version was lost.
+        return FileVerdict.LOST_SYNCED
+    return FileVerdict.ROLLED_BACK
+
+
+def audit_filesystem(fs: FileSystem, expectations: List[FsExpectation]) -> FsAudit:
+    """Audit a (re)mounted filesystem against writer expectations."""
+    audit = FsAudit()
+    for expect in expectations:
+        verdict = _classify(fs, expect)
+        audit.verdicts[expect.name] = verdict
+        if verdict not in (FileVerdict.INTACT, FileVerdict.ROLLED_BACK):
+            audit.details.append(f"{expect.name}: {verdict.value}")
+    return audit

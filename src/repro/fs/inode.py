@@ -1,0 +1,119 @@
+"""Inodes and their serialisation.
+
+An inode records a file's size and the extents (block runs) holding its
+data.  Inodes serialise to compact JSON (the filesystem journals and
+checkpoints them as page content through the content store).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+BLOCK = 4096
+
+
+@dataclass
+class Inode:
+    """One file's metadata."""
+
+    number: int
+    size_bytes: int = 0
+    extents: List[Tuple[int, int]] = field(default_factory=list)  # (block, count)
+    mtime_us: int = 0
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.number < 0 or self.size_bytes < 0:
+            raise ConfigurationError("invalid inode fields")
+
+    @property
+    def block_count(self) -> int:
+        """Blocks currently allocated to the file."""
+        return sum(count for _, count in self.extents)
+
+    def blocks(self) -> List[int]:
+        """Flat list of the file's data blocks in logical order."""
+        out: List[int] = []
+        for start, count in self.extents:
+            out.extend(range(start, start + count))
+        return out
+
+    def block_for_offset(self, offset: int) -> int:
+        """Device block holding byte ``offset`` of the file."""
+        if not 0 <= offset < self.size_bytes:
+            raise ConfigurationError(f"offset {offset} outside file")
+        index = offset // BLOCK
+        blocks = self.blocks()
+        if index >= len(blocks):
+            raise ConfigurationError("inode extents shorter than size")
+        return blocks[index]
+
+    def append_extent(self, start: int, count: int) -> None:
+        """Add blocks to the end of the file (merging adjacent runs)."""
+        if count <= 0 or start < 0:
+            raise ConfigurationError("bad extent")
+        if self.extents and self.extents[-1][0] + self.extents[-1][1] == start:
+            last_start, last_count = self.extents[-1]
+            self.extents[-1] = (last_start, last_count + count)
+        else:
+            self.extents.append((start, count))
+
+    # -- serialisation --------------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Compact JSON encoding (used for journal/checkpoint pages)."""
+        return json.dumps(
+            {
+                "n": self.number,
+                "sz": self.size_bytes,
+                "ex": self.extents,
+                "mt": self.mtime_us,
+                "gen": self.generation,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Inode":
+        """Inverse of :meth:`encode`."""
+        try:
+            data = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(f"corrupt inode encoding: {exc}") from exc
+        return cls(
+            number=data["n"],
+            size_bytes=data["sz"],
+            extents=[tuple(pair) for pair in data["ex"]],
+            mtime_us=data["mt"],
+            generation=data.get("gen", 0),
+        )
+
+    def clone(self) -> "Inode":
+        """Deep copy (journal records snapshot inode state)."""
+        return Inode(
+            number=self.number,
+            size_bytes=self.size_bytes,
+            extents=list(self.extents),
+            mtime_us=self.mtime_us,
+            generation=self.generation,
+        )
+
+
+def encode_directory(entries: Dict[str, int]) -> bytes:
+    """Serialise the root directory (name -> inode number)."""
+    return json.dumps(entries, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def decode_directory(payload: bytes) -> Dict[str, int]:
+    """Inverse of :func:`encode_directory`."""
+    try:
+        data = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ConfigurationError(f"corrupt directory encoding: {exc}") from exc
+    if not isinstance(data, dict):
+        raise ConfigurationError("directory must decode to a mapping")
+    return {str(name): int(number) for name, number in data.items()}

@@ -1,0 +1,121 @@
+"""Metadata journal encoding.
+
+The filesystem's journal is a circular region of blocks; each block holds
+one record.  A transaction is the page sequence::
+
+    TxBegin(txid) , payload records... , TxCommit(txid)
+
+Replay applies only transactions whose *commit record is present and whose
+every payload page decodes* — a torn transaction (power fault mid-commit)
+is discarded wholesale, which is the crash-consistency contract under test.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class TxKind(enum.Enum):
+    """Journal record types."""
+
+    BEGIN = "begin"
+    INODE = "inode"
+    DIRECTORY = "dir"
+    FREEMAP = "freemap"
+    COMMIT = "commit"
+
+
+@dataclass
+class TxRecord:
+    """One journal page's decoded content."""
+
+    kind: TxKind
+    txid: int
+    payload: Dict = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        """JSON page content."""
+        return json.dumps(
+            {"k": self.kind.value, "tx": self.txid, "p": self.payload},
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def decode(cls, payload: Optional[bytes]) -> Optional["TxRecord"]:
+        """Parse a journal page; None for unreadable/garbage pages."""
+        if payload is None:
+            return None
+        try:
+            data = json.loads(payload.decode("utf-8"))
+            return cls(kind=TxKind(data["k"]), txid=int(data["tx"]), payload=data["p"])
+        except (ValueError, KeyError, UnicodeDecodeError):
+            return None
+
+
+@dataclass
+class Transaction:
+    """A decoded, complete journal transaction."""
+
+    txid: int
+    records: List[TxRecord]
+
+    @property
+    def payload_records(self) -> List[TxRecord]:
+        """Records between BEGIN and COMMIT."""
+        return [
+            r for r in self.records if r.kind not in (TxKind.BEGIN, TxKind.COMMIT)
+        ]
+
+
+def decode_transactions(pages: List[Optional[bytes]]) -> Tuple[List[Transaction], int]:
+    """Reassemble committed transactions from raw journal page contents.
+
+    ``pages`` is the journal region in write order (oldest first).  Returns
+    ``(committed transactions in order, torn/discarded transaction count)``.
+
+    A transaction is discarded when its commit record never made it, when a
+    payload page is unreadable, or when records of a different/garbled txid
+    interleave (all symptoms of a fault mid-journal-write).
+    """
+    committed: List[Transaction] = []
+    discarded = 0
+    current: Optional[Transaction] = None
+    broken = False
+    for raw in pages:
+        record = TxRecord.decode(raw)
+        if record is None:
+            if current is not None:
+                broken = True  # unreadable page inside an open transaction
+            continue
+        if record.kind is TxKind.BEGIN:
+            if current is not None:
+                discarded += 1  # previous transaction never committed
+            current = Transaction(txid=record.txid, records=[record])
+            broken = False
+            continue
+        if current is None or record.txid != current.txid:
+            # Stray record (stale page from an earlier lap, or torn write).
+            continue
+        current.records.append(record)
+        if record.kind is TxKind.COMMIT:
+            if broken:
+                discarded += 1
+            else:
+                committed.append(current)
+            current = None
+            broken = False
+    if current is not None:
+        discarded += 1  # open at the end of the region: never committed
+    return committed, discarded
+
+
+def validate_region(capacity_blocks: int) -> None:
+    """Sanity-check a journal region size."""
+    if capacity_blocks < 8:
+        raise ConfigurationError("journal region must hold at least 8 blocks")

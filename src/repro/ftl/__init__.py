@@ -1,0 +1,41 @@
+"""Flash Translation Layer substrate.
+
+Implements the FTL functionality the paper's introduction enumerates —
+address mapping, garbage collection, and wear levelling — plus the two
+pieces its failure analysis hinges on:
+
+- the **mapping table lives in volatile DRAM** and is persisted to flash only
+  at journal commits, so a power fault strands the updates made since the
+  last commit (§IV-A's post-ACK vulnerability window, §IV-D's map-table
+  failure);
+- **sequential runs are stored as extents** ("FTL only keeps the first
+  address in the mapping table", §IV-D), so losing one table entry takes a
+  whole run of data with it.
+
+Public surface: :class:`~repro.ftl.ftl.Ftl`,
+:class:`~repro.ftl.mapping.PageMap`, :class:`~repro.ftl.extent_mapping.ExtentMap`,
+:class:`~repro.ftl.journal.MapJournal`, :class:`~repro.ftl.gc.GarbageCollector`,
+:class:`~repro.ftl.wear.WearLeveler`, :class:`~repro.ftl.recovery.RecoveryEngine`.
+"""
+
+from repro.ftl.extent_mapping import Extent, ExtentMap
+from repro.ftl.ftl import Ftl, FtlConfig
+from repro.ftl.gc import GarbageCollector
+from repro.ftl.journal import MapJournal, MapUpdate
+from repro.ftl.mapping import PageMap
+from repro.ftl.recovery import RecoveryEngine, RecoveryReport
+from repro.ftl.wear import WearLeveler
+
+__all__ = [
+    "Extent",
+    "ExtentMap",
+    "Ftl",
+    "FtlConfig",
+    "GarbageCollector",
+    "MapJournal",
+    "MapUpdate",
+    "PageMap",
+    "RecoveryEngine",
+    "RecoveryReport",
+    "WearLeveler",
+]

@@ -1,0 +1,85 @@
+"""Garbage collection.
+
+Log-structured writing never updates in place, so overwritten pages leave
+stale copies behind; when the free-block pool runs low the collector picks
+the emptiest victim blocks, relocates their still-valid pages, and erases
+them.  The collector charges its relocation traffic through the same FTL
+write path as host data, so a GC burst competes for the flash array exactly
+as it would in a real drive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ftl.ftl import Ftl
+
+
+class GarbageCollector:
+    """Greedy (min-valid-pages) victim selection with a watermark trigger.
+
+    Parameters
+    ----------
+    ftl:
+        The owning FTL (provides valid counts, relocation, and erase).
+    low_watermark:
+        GC starts when the free pool drops below this many blocks.
+    high_watermark:
+        GC stops once the free pool recovers to this level.
+    """
+
+    def __init__(self, ftl: "Ftl", low_watermark: int = 4, high_watermark: int = 8) -> None:
+        if low_watermark < 1 or high_watermark <= low_watermark:
+            raise ConfigurationError("watermarks must satisfy 1 <= low < high")
+        self.ftl = ftl
+        self.low_watermark = low_watermark
+        self.high_watermark = high_watermark
+        # Statistics.
+        self.collections = 0
+        self.pages_relocated = 0
+        self.blocks_reclaimed = 0
+
+    def needed(self) -> bool:
+        """True when the free pool is below the low watermark."""
+        return self.ftl.wear.free_count < self.low_watermark
+
+    def select_victim(self) -> Optional[int]:
+        """The in-use block with the fewest valid pages (cheapest to reclaim)."""
+        best_block: Optional[int] = None
+        best_valid: Optional[int] = None
+        for block, valid in self.ftl.valid_counts.items():
+            if self.ftl.wear.is_free(block) or block in self.ftl.open_blocks():
+                continue
+            if best_valid is None or valid < best_valid:
+                best_block, best_valid = block, valid
+        return best_block
+
+    def run(self) -> int:
+        """Collect until the high watermark is met.  Returns blocks reclaimed.
+
+        Synchronous state-wise; the caller is responsible for charging the
+        simulated latency (the FTL returns the microsecond cost).
+        """
+        reclaimed = 0
+        while self.ftl.wear.free_count < self.high_watermark:
+            victim = self.select_victim()
+            if victim is None:
+                break
+            self.collections += 1
+            moved = self.ftl.relocate_block(victim)
+            self.pages_relocated += moved
+            self.ftl.erase_and_free(victim)
+            self.blocks_reclaimed += 1
+            reclaimed += 1
+        return reclaimed
+
+    def stats(self) -> dict:
+        """Counters snapshot for reports."""
+        return {
+            "collections": self.collections,
+            "pages_relocated": self.pages_relocated,
+            "blocks_reclaimed": self.blocks_reclaimed,
+        }

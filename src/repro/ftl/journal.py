@@ -1,0 +1,154 @@
+"""Mapping-table journal.
+
+The FTL's RAM-resident map is persisted to flash at *commit* points (every
+``commit_interval_us`` or on an explicit barrier).  Map updates made after
+the last commit exist only in volatile DRAM; a power fault puts them at the
+mercy of the recovery engine's out-of-band scan.  The commit interval is
+therefore the single most important calibration constant in the model: it
+bounds the post-ACK window in which the paper observed completed, ACKed
+writes being corrupted (~700 ms, §IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.sim.kernel import Event, Kernel
+
+
+@dataclass
+class MapUpdate:
+    """One reversible mapping-table mutation awaiting a journal commit.
+
+    ``kind`` is "page" for single-LPN bindings or "extent" for run insertions.
+    ``old_bindings`` maps each touched LPN to its previous PPA (None when the
+    LPN was unmapped before) so recovery can roll the update back if the
+    out-of-band scan fails to reconstruct it.
+    """
+
+    kind: str
+    time_us: int
+    lpns: List[int]
+    old_bindings: Dict[int, Optional[int]] = field(default_factory=dict)
+    extent_start: Optional[int] = None
+
+    @property
+    def page_count(self) -> int:
+        """Logical pages whose translation this update carries."""
+        return len(self.lpns)
+
+
+class MapJournal:
+    """Accumulates map updates and commits them to flash periodically.
+
+    Parameters
+    ----------
+    kernel:
+        Simulation kernel (for the periodic commit timer).
+    commit_interval_us:
+        Budgeted gap between commits.  The real firmware piggybacks commits
+        on idle time and cache flush barriers; a fixed interval reproduces
+        the same *bounded staleness* behaviour.
+    on_commit:
+        Callback receiving the list of updates being made durable; the FTL
+        uses it to charge the flash programs the journal write costs.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        commit_interval_us: int,
+        on_commit: Optional[Callable[[List[MapUpdate]], None]] = None,
+    ) -> None:
+        if commit_interval_us <= 0:
+            raise ConfigurationError("journal commit interval must be positive")
+        self.kernel = kernel
+        self.commit_interval_us = commit_interval_us
+        self.on_commit = on_commit
+        self._pending: List[MapUpdate] = []
+        self._timer: Optional[Event] = None
+        self._running = False
+        # Statistics.
+        self.commits = 0
+        self.updates_committed = 0
+        self.updates_recorded = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Enable the commit cycle.
+
+        The deadline timer is armed lazily — only while updates are pending —
+        so an idle device schedules no events (important for simulations that
+        run the kernel to quiescence).  The staleness bound is unchanged: the
+        oldest volatile update is never older than ``commit_interval_us``.
+        """
+        if self._running:
+            return
+        self._running = True
+        if self._pending:
+            self._arm_timer()
+
+    def stop(self) -> None:
+        """Halt the commit cycle (power loss); pending updates stay stranded."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _arm_timer(self) -> None:
+        if self._timer is None:
+            self._timer = self.kernel.schedule(self.commit_interval_us, self._timer_fired)
+
+    def _timer_fired(self) -> None:
+        self._timer = None
+        if not self._running:
+            return
+        self.commit()
+
+    # -- recording --------------------------------------------------------------------
+
+    def record(self, update: MapUpdate) -> None:
+        """Note a map mutation that has happened in RAM but not on flash."""
+        self._pending.append(update)
+        self.updates_recorded += 1
+        if self._running:
+            self._arm_timer()
+
+    def commit(self) -> int:
+        """Make all pending updates durable.  Returns the number committed."""
+        if not self._pending:
+            return 0
+        batch, self._pending = self._pending, []
+        self.commits += 1
+        self.updates_committed += len(batch)
+        if self.on_commit is not None:
+            self.on_commit(batch)
+        return len(batch)
+
+    # -- power-fault interface -----------------------------------------------------------
+
+    def stranded_updates(self) -> List[MapUpdate]:
+        """Updates that were still volatile when power collapsed."""
+        return list(self._pending)
+
+    def clear_stranded(self) -> None:
+        """Forget stranded updates after recovery has resolved them."""
+        self._pending.clear()
+
+    @property
+    def pending_count(self) -> int:
+        """Updates awaiting the next commit."""
+        return len(self._pending)
+
+    def oldest_pending_age_us(self, now: int) -> Optional[int]:
+        """Age of the oldest uncommitted update (None when drained).
+
+        This is the quantity bounded by ``commit_interval_us`` and measured
+        by the paper's §IV-A experiment (failures up to ~700 ms after ACK).
+        """
+        if not self._pending:
+            return None
+        return now - self._pending[0].time_us

@@ -1,0 +1,77 @@
+"""Page-level logical-to-physical mapping table.
+
+The straightforward fine-grained map: one entry per 4 KiB logical page.
+Random-write workloads exercise this table; the sequential-run variant is in
+:mod:`repro.ftl.extent_mapping`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import AddressError
+
+
+class PageMap:
+    """Sparse LPN -> PPA dictionary with explicit old-value reporting.
+
+    ``bind`` returns the displaced PPA (if any) so the caller can journal the
+    update reversibly and decrement the victim block's valid-page count.
+
+    Example
+    -------
+    >>> m = PageMap()
+    >>> m.bind(10, 500) is None
+    True
+    >>> m.bind(10, 600)
+    500
+    >>> m.lookup(10)
+    600
+    """
+
+    def __init__(self) -> None:
+        self._table: Dict[int, int] = {}
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """PPA currently bound to ``lpn`` or None when unmapped."""
+        if lpn < 0:
+            raise AddressError(f"negative LPN {lpn}")
+        return self._table.get(lpn)
+
+    def bind(self, lpn: int, ppa: int) -> Optional[int]:
+        """Map ``lpn`` to ``ppa``; returns the displaced PPA, if any."""
+        if lpn < 0:
+            raise AddressError(f"negative LPN {lpn}")
+        if ppa < 0:
+            raise AddressError(f"negative PPA {ppa}")
+        old = self._table.get(lpn)
+        self._table[lpn] = ppa
+        return old
+
+    def unbind(self, lpn: int) -> Optional[int]:
+        """Remove the mapping for ``lpn``; returns the displaced PPA."""
+        if lpn < 0:
+            raise AddressError(f"negative LPN {lpn}")
+        return self._table.pop(lpn, None)
+
+    def restore(self, lpn: int, old_ppa: Optional[int]) -> None:
+        """Put back a journal-recorded previous state (None means unmapped)."""
+        if old_ppa is None:
+            self._table.pop(lpn, None)
+        else:
+            self._table[lpn] = old_ppa
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._table
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(lpn, ppa)`` pairs (snapshot order not guaranteed)."""
+        return iter(self._table.items())
+
+    def entry_count(self) -> int:
+        """Number of live entries (table footprint — WSS scales this,
+        which is exactly the parameter Fig. 6 shows does *not* drive failures)."""
+        return len(self._table)

@@ -1,0 +1,83 @@
+"""Flash cell kinds and shared-wordline page pairing.
+
+Multi-level cells store several logical pages on one physical wordline.
+Programming a *later* page of a wordline moves charge on cells that already
+encode an *earlier* page — so a power fault during that program can corrupt
+data that was written (and acknowledged) long ago.  This is the physical
+mechanism behind the paper's observation that "single power outage not only
+disturbs the under writing cell, it also may corrupt the cells that are
+previously written" (§I) and behind the elevated WAW failure count (§IV-G).
+
+We use the straightforward interleaving where wordline ``w`` of a block owns
+pages ``n*w .. n*w + (n-1)`` (``n`` = bits per cell); real parts stagger the
+pairing across wordlines, but only the *existence and count* of vulnerable
+earlier pages matters to the failure statistics.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List
+
+from repro.errors import ConfigurationError
+
+
+class CellKind(enum.Enum):
+    """Number of bits stored per flash cell."""
+
+    SLC = 1
+    MLC = 2
+    TLC = 3
+
+    @property
+    def bits_per_cell(self) -> int:
+        """Logical pages sharing one wordline."""
+        return self.value
+
+    @property
+    def page_roles(self) -> List[str]:
+        """Human names of the pages on one wordline, program order first."""
+        return ["lower", "upper", "extra"][: self.value]
+
+    def wordline_of(self, page_in_block: int) -> int:
+        """Wordline index owning ``page_in_block``."""
+        if page_in_block < 0:
+            raise ConfigurationError("page index must be non-negative")
+        return page_in_block // self.value
+
+    def role_of(self, page_in_block: int) -> str:
+        """Role name ("lower"/"upper"/"extra") of ``page_in_block``."""
+        return self.page_roles[page_in_block % self.value]
+
+    def earlier_siblings(self, page_in_block: int) -> List[int]:
+        """Pages on the same wordline programmed *before* ``page_in_block``.
+
+        These are the pages whose already-stored data is at risk if a power
+        fault interrupts the program of ``page_in_block``.  Empty for SLC and
+        for the first (lower) page of a wordline.
+
+        >>> CellKind.MLC.earlier_siblings(7)
+        [6]
+        >>> CellKind.TLC.earlier_siblings(11)
+        [9, 10]
+        >>> CellKind.SLC.earlier_siblings(5)
+        []
+        """
+        if page_in_block < 0:
+            raise ConfigurationError("page index must be non-negative")
+        first = (page_in_block // self.value) * self.value
+        return list(range(first, page_in_block))
+
+    def is_vulnerable_program(self, page_in_block: int) -> bool:
+        """True when programming this page endangers earlier sibling pages."""
+        return bool(self.earlier_siblings(page_in_block))
+
+    @property
+    def program_slowdown(self) -> float:
+        """Relative program latency versus SLC (more levels = finer ISPP)."""
+        return {CellKind.SLC: 1.0, CellKind.MLC: 2.6, CellKind.TLC: 4.5}[self]
+
+    @property
+    def raw_bit_error_scale(self) -> float:
+        """Relative raw bit-error-rate versus SLC (tighter voltage margins)."""
+        return {CellKind.SLC: 1.0, CellKind.MLC: 4.0, CellKind.TLC: 12.0}[self]

@@ -1,0 +1,126 @@
+"""Power-loss corruption model for NAND operations.
+
+Three distinct physical mechanisms, each with its own knob:
+
+1. **Interrupted program** — the ISPP pulse train stops mid-way; unless the
+   page was essentially finished it holds an intermediate charge level and
+   reads back garbage (uncorrectable).
+2. **Paired-page collateral** — an interrupted (or brownout-executed)
+   program of an upper/extra page disturbs the *earlier* pages of the same
+   wordline (see :mod:`repro.nand.cell`), corrupting long-acknowledged data.
+3. **Marginal program** — a program that *completes* while the rail is
+   sagging (the PSU discharge window the paper's platform uniquely
+   reproduces) places less charge than nominal; the page stores an elevated
+   raw-bit-error count which the ECC may or may not absorb at read time.
+
+All draws come from one dedicated RNG stream so campaigns are reproducible.
+The default constants are calibrated in :mod:`repro.core.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import ConfigurationError
+from repro.nand.cell import CellKind
+
+
+@dataclass(frozen=True)
+class CorruptionModel:
+    """Probability knobs for power-loss damage.
+
+    Attributes
+    ----------
+    program_survival_progress:
+        ISPP progress fraction beyond which an interrupted program still
+        commits a readable page (the final verify pulses are confirmatory).
+    interrupt_corrupt_prob:
+        Probability an interrupted program (below the survival point) leaves
+        the page uncorrectable rather than mostly-erased-but-stale.
+    paired_collateral_prob:
+        Per-earlier-sibling probability of collateral corruption when a
+        vulnerable program is interrupted.
+    base_error_bits:
+        Mean raw bit errors per page for a *nominal* program of SLC cells
+        (scaled by :attr:`CellKind.raw_bit_error_scale`).
+    marginal_error_multiplier:
+        Peak multiplier applied to the raw-error mean when a program commits
+        at the brownout floor; scales linearly with voltage sag between the
+        nominal-supply threshold and the brownout threshold.
+    nominal_volts / brownout_volts:
+        Rail window over which programs degrade from nominal to marginal.
+    """
+
+    program_survival_progress: float = 0.95
+    interrupt_corrupt_prob: float = 0.85
+    paired_collateral_prob: float = 0.35
+    base_error_bits: float = 2.0
+    marginal_error_multiplier: float = 40.0
+    nominal_volts: float = 4.6
+    brownout_volts: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.program_survival_progress <= 1.0:
+            raise ConfigurationError("survival progress must be in [0, 1]")
+        for name in ("interrupt_corrupt_prob", "paired_collateral_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigurationError(f"{name} must be a probability")
+        if self.base_error_bits < 0 or self.marginal_error_multiplier < 1.0:
+            raise ConfigurationError("error-bit parameters out of range")
+        if self.brownout_volts >= self.nominal_volts:
+            raise ConfigurationError("brownout voltage must be below nominal")
+
+    # -- mechanism 1: interrupted program ------------------------------------------
+
+    def interrupted_program_corrupts(self, rng: Random, progress: float) -> bool:
+        """Whether a program interrupted at ``progress`` destroys the page."""
+        if not 0.0 <= progress <= 1.0:
+            raise ConfigurationError("progress must be in [0, 1]")
+        if progress >= self.program_survival_progress:
+            return False
+        return rng.random() < self.interrupt_corrupt_prob
+
+    # -- mechanism 2: paired-page collateral -----------------------------------------
+
+    def collateral_pages(self, rng: Random, cell: CellKind, page_in_block: int) -> list:
+        """Earlier sibling pages corrupted by an interrupted program."""
+        victims = []
+        for sibling in cell.earlier_siblings(page_in_block):
+            if rng.random() < self.paired_collateral_prob:
+                victims.append(sibling)
+        return victims
+
+    # -- mechanism 3: marginal (sagging-rail) program --------------------------------
+
+    def sag_fraction(self, volts: float) -> float:
+        """0.0 at/above nominal supply, 1.0 at/below the brownout floor."""
+        if volts >= self.nominal_volts:
+            return 0.0
+        if volts <= self.brownout_volts:
+            return 1.0
+        return (self.nominal_volts - volts) / (self.nominal_volts - self.brownout_volts)
+
+    def program_quality(self, volts: float) -> float:
+        """Charge-placement quality of a program committing at ``volts``.
+
+        1.0 is nominal; 0.0 is the brownout floor.  Stored per page so the
+        read path can reconstruct error counts.
+        """
+        return 1.0 - self.sag_fraction(volts)
+
+    def sample_error_bits(self, rng: Random, cell: CellKind, quality: float) -> int:
+        """Raw-bit-error count committed with a page programmed at ``quality``."""
+        if not 0.0 <= quality <= 1.0:
+            raise ConfigurationError("quality must be in [0, 1]")
+        sag = 1.0 - quality
+        mean = (
+            self.base_error_bits
+            * cell.raw_bit_error_scale
+            * (1.0 + sag * (self.marginal_error_multiplier - 1.0))
+        )
+        # Poisson via inversion would be slow for big means; a rounded
+        # exponential-tailed normal approximation keeps draws cheap and the
+        # variance realistic for the error-count regime we use.
+        sampled = rng.gauss(mean, mean**0.5 if mean > 0 else 0.0)
+        return max(0, round(sampled))

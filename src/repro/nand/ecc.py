@@ -1,0 +1,91 @@
+"""Error-correcting-code models.
+
+Table I of the paper distinguishes drives by ECC: the MLC drives (A, C) use
+conventional (BCH-style) codes while the TLC drive (B) uses LDPC.  For the
+failure statistics only one property matters: **how many raw bit errors per
+page the decoder can remove**.  We model a scheme as a correction budget in
+bits per page; a page whose stored raw-bit-error count exceeds the budget is
+uncorrectable (the host sees a read failure / garbage, i.e. a data failure).
+
+Raw-bit-error counts are attached to pages at *program commit* time by
+:class:`~repro.nand.corruption.CorruptionModel`, so reads are deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EccScheme:
+    """A per-page correction budget.
+
+    ``read_retry_factor`` models the firmware's re-read escalation: when the
+    first decode fails, the controller re-centres its read references onto
+    the actual (shifted) threshold distributions and tries again, which
+    reduces the raw error count by roughly this factor.  The default (1.0)
+    means no retry; the calibrated value for retry-capable controllers
+    (~0.45) comes from :mod:`repro.nand.threshold`'s optimal-reference gain.
+
+    Example
+    -------
+    >>> EccScheme.bch().can_correct(40)
+    True
+    >>> EccScheme.bch().can_correct(100)
+    False
+    >>> EccScheme.ldpc().can_correct(100)
+    True
+    """
+
+    name: str
+    correctable_bits_per_page: int
+    read_retry_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.correctable_bits_per_page < 0:
+            raise ConfigurationError("correction budget must be non-negative")
+        if not self.name:
+            raise ConfigurationError("ECC scheme needs a name")
+        if not 0.0 < self.read_retry_factor <= 1.0:
+            raise ConfigurationError("read retry factor must be in (0, 1]")
+
+    def can_correct(self, raw_error_bits: int) -> bool:
+        """True when a page with ``raw_error_bits`` decodes cleanly
+        (first-pass read, factory references)."""
+        if raw_error_bits < 0:
+            raise ConfigurationError("raw error count must be non-negative")
+        return raw_error_bits <= self.correctable_bits_per_page
+
+    def can_correct_with_retry(self, raw_error_bits: int) -> bool:
+        """True when the page decodes after the read-retry escalation."""
+        if self.can_correct(raw_error_bits):
+            return True
+        if self.read_retry_factor >= 1.0:
+            return False
+        effective = round(raw_error_bits * self.read_retry_factor)
+        return effective <= self.correctable_bits_per_page
+
+    def margin(self, raw_error_bits: int) -> int:
+        """Remaining budget (negative when uncorrectable)."""
+        return self.correctable_bits_per_page - raw_error_bits
+
+    # -- presets matching Table I -----------------------------------------------------
+
+    @classmethod
+    def bch(cls) -> "EccScheme":
+        """BCH-class budget typical of the paper's MLC drives (A, C)."""
+        return cls(name="BCH", correctable_bits_per_page=60)
+
+    @classmethod
+    def ldpc(cls) -> "EccScheme":
+        """LDPC budget of the TLC drive (B): ~2x the BCH correction power,
+        with soft-read retry (LDPC decoders re-read at shifted references
+        for soft information)."""
+        return cls(name="LDPC", correctable_bits_per_page=130, read_retry_factor=0.45)
+
+    @classmethod
+    def none(cls) -> "EccScheme":
+        """No correction at all (chip-level experiments, Tseng et al.)."""
+        return cls(name="none", correctable_bits_per_page=0)

@@ -1,0 +1,188 @@
+"""Threshold-voltage (Vth) distribution model for flash cells.
+
+The campaign simulation treats raw bit errors as calibrated draws
+(:mod:`repro.nand.corruption`).  This module supplies the physics those
+numbers abstract: each cell level is a Gaussian Vth distribution, a read
+compares the cell against reference voltages between levels, and the raw
+bit-error rate is the tail mass on the wrong side of each reference.
+
+What the model reproduces:
+
+- **undercharged (marginal) programs** — a program completing on a sagging
+  rail places less charge: programmed level means shift down and widen,
+  overlapping the next level's read window (how the discharge-window
+  mechanism becomes bit errors);
+- **retention loss** — charge leaks, programmed means drift toward the
+  erased state over time;
+- **read disturb** — repeated reads soft-program the *erased* level upward;
+- **read-retry** — the controller counter-move: re-centring the read
+  references between the shifted distributions recovers much of the margin,
+  exactly what real firmware does before declaring an ECC failure.
+
+Everything is closed-form (Gaussian tails via ``erf``), deterministic and
+cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.nand.cell import CellKind
+
+
+def _gaussian_tail(mean: float, sigma: float, boundary: float, upper: bool) -> float:
+    """P(X > boundary) (upper) or P(X < boundary) of N(mean, sigma^2)."""
+    if sigma <= 0:
+        raise ConfigurationError("sigma must be positive")
+    z = (boundary - mean) / (sigma * math.sqrt(2.0))
+    upper_tail = 0.5 * math.erfc(z)
+    return upper_tail if upper else 1.0 - upper_tail
+
+
+@dataclass(frozen=True)
+class LevelState:
+    """One charge level's Vth distribution."""
+
+    mean_v: float
+    sigma_v: float
+
+    def shifted(self, delta_mean: float, sigma_scale: float = 1.0) -> "LevelState":
+        """A drifted/widened copy."""
+        return LevelState(self.mean_v + delta_mean, self.sigma_v * sigma_scale)
+
+
+# Nominal placements (volts).  Erased sits deep negative; programmed levels
+# spread over the positive window, tighter for fewer levels.
+_ERASED = LevelState(mean_v=-2.0, sigma_v=0.42)
+_PROGRAM_WINDOW = (0.8, 4.4)
+_NOMINAL_SIGMA = {CellKind.SLC: 0.60, CellKind.MLC: 0.25, CellKind.TLC: 0.09}
+
+# Marginal-program physics: full sag loses this much placed charge and
+# inflates placement spread by this factor.
+_SAG_MEAN_SHIFT_V = -1.1
+_SAG_SIGMA_SCALE = 2.2
+
+CELLS_PER_PAGE = 4096 * 8
+"""Bit cells read per 4 KiB logical page (one bit per cell per page)."""
+
+
+class CellLevelModel:
+    """Vth distributions of one wordline's cells.
+
+    Example
+    -------
+    >>> model = CellLevelModel(CellKind.MLC)
+    >>> model.expected_page_error_bits() < 20
+    True
+    >>> weak = CellLevelModel(CellKind.MLC, quality=0.2)
+    >>> weak.expected_page_error_bits() > 10 * model.expected_page_error_bits()
+    True
+    """
+
+    def __init__(self, cell: CellKind, quality: float = 1.0) -> None:
+        if not 0.0 <= quality <= 1.0:
+            raise ConfigurationError("quality must be in [0, 1]")
+        self.cell = cell
+        self.quality = quality
+        self.levels = self._build_levels(cell, quality)
+
+    @staticmethod
+    def _build_levels(cell: CellKind, quality: float) -> List[LevelState]:
+        count = 2**cell.bits_per_cell
+        sigma = _NOMINAL_SIGMA[cell]
+        levels = [_ERASED]
+        low, high = _PROGRAM_WINDOW
+        sag = 1.0 - quality
+        for index in range(count - 1):
+            if count == 2:
+                mean = (low + high) / 2
+            else:
+                mean = low + (high - low) * index / (count - 2)
+            level = LevelState(mean, sigma)
+            # Undercharge: higher levels lose proportionally more charge
+            # (they needed more ISPP pulses, which the sag cut short).
+            weight = (index + 1) / (count - 1)
+            level = level.shifted(
+                _SAG_MEAN_SHIFT_V * sag * weight,
+                1.0 + (_SAG_SIGMA_SCALE - 1.0) * sag,
+            )
+            levels.append(level)
+        return levels
+
+    # -- degradation operators ------------------------------------------------------
+
+    def after_retention(self, hours: float, leak_v_per_khour: float = 0.25) -> "CellLevelModel":
+        """Charge leakage: programmed means drift toward erased."""
+        if hours < 0:
+            raise ConfigurationError("cannot age backwards")
+        drift = -leak_v_per_khour * hours / 1000.0
+        fragility = 1.0 + 3.0 * (1.0 - self.quality)
+        clone = CellLevelModel.__new__(CellLevelModel)
+        clone.cell = self.cell
+        clone.quality = self.quality
+        clone.levels = [self.levels[0]] + [
+            level.shifted(drift * fragility, 1.0 + 0.02 * hours / 1000.0)
+            for level in self.levels[1:]
+        ]
+        return clone
+
+    def after_read_disturb(self, reads: int, shift_v_per_100k: float = 0.3) -> "CellLevelModel":
+        """Pass-voltage stress: the erased level creeps upward."""
+        if reads < 0:
+            raise ConfigurationError("read count must be non-negative")
+        creep = shift_v_per_100k * reads / 100_000.0
+        clone = CellLevelModel.__new__(CellLevelModel)
+        clone.cell = self.cell
+        clone.quality = self.quality
+        clone.levels = [self.levels[0].shifted(creep)] + list(self.levels[1:])
+        return clone
+
+    # -- reading ---------------------------------------------------------------------
+
+    def nominal_references(self) -> List[float]:
+        """Factory read references: midpoints of the *nominal* levels."""
+        nominal = self._build_levels(self.cell, quality=1.0)
+        return [
+            (a.mean_v + b.mean_v) / 2.0 for a, b in zip(nominal, nominal[1:])
+        ]
+
+    def optimal_references(self) -> List[float]:
+        """Read-retry references: sigma-weighted crossings of the *actual*
+        (shifted) distributions — where the two Gaussians have equal density
+        approximately, i.e. the miscompare-minimising point."""
+        refs = []
+        for a, b in zip(self.levels, self.levels[1:]):
+            refs.append(
+                (a.mean_v * b.sigma_v + b.mean_v * a.sigma_v)
+                / (a.sigma_v + b.sigma_v)
+            )
+        return refs
+
+    def misread_probability(self, references: Optional[Sequence[float]] = None) -> float:
+        """P(one cell lands on the wrong side of its neighbouring reference).
+
+        Sums, per adjacent level pair, the tail mass of each level beyond
+        the reference between them, weighted by uniform level occupancy.
+        """
+        refs = list(references) if references is not None else self.nominal_references()
+        if len(refs) != len(self.levels) - 1:
+            raise ConfigurationError("need one reference per adjacent level pair")
+        total = 0.0
+        occupancy = 1.0 / len(self.levels)
+        for index, reference in enumerate(refs):
+            below, above = self.levels[index], self.levels[index + 1]
+            total += occupancy * _gaussian_tail(
+                below.mean_v, below.sigma_v, reference, upper=True
+            )
+            total += occupancy * _gaussian_tail(
+                above.mean_v, above.sigma_v, reference, upper=False
+            )
+        return min(1.0, total)
+
+    def expected_page_error_bits(self, references: Optional[Sequence[float]] = None) -> float:
+        """Expected raw bit errors in one 4 KiB page read."""
+        return self.misread_probability(references) * CELLS_PER_PAGE
+

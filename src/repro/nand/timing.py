@@ -1,0 +1,62 @@
+"""NAND operation latencies.
+
+Values are typical mid-2010s client NAND (matching the paper's drives, Table
+I): the absolute numbers only need to be the right order of magnitude — the
+reliability results depend on *ratios* (a multi-millisecond erase or a
+~1.3 ms MLC program is long against the host's microsecond-scale command
+issue, so faults land inside operations with realistic probability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.nand.cell import CellKind
+from repro.units import KIB
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latency table for one flash generation.
+
+    Attributes
+    ----------
+    read_us:
+        Array-to-register page read time (tR).
+    program_base_us:
+        SLC-equivalent page program time (tPROG); multiplied by the cell
+        kind's :attr:`~repro.nand.cell.CellKind.program_slowdown`.
+    erase_us:
+        Block erase time (tBERS).
+    bus_mbps:
+        Channel transfer rate in MiB/s (toggle/ONFI bus).
+    """
+
+    read_us: int = 75
+    program_base_us: int = 500
+    erase_us: int = 3_500
+    bus_mbps: int = 400
+
+    def __post_init__(self) -> None:
+        for field_name in ("read_us", "program_base_us", "erase_us", "bus_mbps"):
+            if getattr(self, field_name) <= 0:
+                raise ConfigurationError(f"{field_name} must be positive")
+
+    def program_us(self, cell: CellKind) -> int:
+        """Page program time for ``cell`` (ISPP pulse train, §I of the paper)."""
+        return round(self.program_base_us * cell.program_slowdown)
+
+    def transfer_us(self, nbytes: int) -> int:
+        """Channel transfer time for ``nbytes``."""
+        if nbytes < 0:
+            raise ConfigurationError("transfer size must be non-negative")
+        return round(nbytes / (self.bus_mbps * KIB * KIB) * 1_000_000)
+
+    def page_write_us(self, cell: CellKind, page_size: int) -> int:
+        """Transfer + program for one page."""
+        return self.transfer_us(page_size) + self.program_us(cell)
+
+    def page_read_us(self, page_size: int) -> int:
+        """tR + transfer for one page."""
+        return self.read_us + self.transfer_us(page_size)

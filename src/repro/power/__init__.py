@@ -1,0 +1,39 @@
+"""Power-delivery substrate.
+
+Models the hardware half of the paper's testbed (Fig. 3): an independent ATX
+PSU whose ``PS_ON#`` pin (pin 16 of the ATX connector) is driven by an
+Arduino UNO's digital pin 13, which in turn is commanded over a serial link
+by the software part's Scheduler.
+
+The load-dependent output-voltage waveform after ``PS_ON#`` deasserts is the
+paper's central hardware novelty (Fig. 4): the drive keeps seeing a sagging
+supply for hundreds of milliseconds — it is *not* cut instantaneously the way
+transistor-based platforms (Zheng et al. FAST'13, Tseng et al. DAC'11) do.
+
+Public surface:
+
+- :class:`~repro.power.psu.AtxPsu` — the supply with discharge physics.
+- :class:`~repro.power.psu.DischargeProfile` — waveform parameters.
+- :class:`~repro.power.atx.AtxController` — the PS_ON# pin logic.
+- :class:`~repro.power.arduino.Microcontroller` — Arduino UNO model.
+- :class:`~repro.power.controller.PowerController` — software-facing facade.
+- :class:`~repro.power.rails.RailProbe` — oscilloscope-style sampler.
+- :class:`~repro.power.psu.InstantCutoffPsu` — the prior-work baseline.
+"""
+
+from repro.power.arduino import Microcontroller
+from repro.power.atx import AtxController
+from repro.power.controller import PowerController
+from repro.power.psu import AtxPsu, DischargeProfile, InstantCutoffPsu, PsuState
+from repro.power.rails import RailProbe
+
+__all__ = [
+    "AtxPsu",
+    "AtxController",
+    "DischargeProfile",
+    "InstantCutoffPsu",
+    "Microcontroller",
+    "PowerController",
+    "PsuState",
+    "RailProbe",
+]

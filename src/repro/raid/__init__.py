@@ -1,0 +1,19 @@
+"""Storage-architecture extension: mirroring across power domains.
+
+The paper's introduction motivates the study partly for "designers to
+carefully architect storage systems" — knowing how SSDs fail under power
+faults tells you where redundancy must live.  This package provides the
+smallest such architecture: a RAID-1 mirror over two simulated SSDs, with
+the two drives either **sharing one PSU** (a fault takes both) or on
+**independent power domains** (a fault takes one).  The mirror example and
+tests quantify the difference the paper's data implies: mirroring inside a
+single power domain does *not* protect against power-fault data loss,
+because both replicas see the same fault.
+
+Public surface: :class:`~repro.raid.mirror.MirrorPair`,
+:class:`~repro.raid.mirror.MirrorReadResult`.
+"""
+
+from repro.raid.mirror import MirrorPair, MirrorReadResult
+
+__all__ = ["MirrorPair", "MirrorReadResult"]

@@ -1,0 +1,166 @@
+"""The discrete-event loop.
+
+The kernel keeps a binary heap of ``(time, sequence, Event)`` entries.  The
+monotonically increasing sequence number makes ordering of same-time events
+deterministic (FIFO in scheduling order), which matters for reproducibility
+of fault-injection campaigns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Kernel.schedule`.
+
+    Events may be cancelled before they fire; a cancelled event stays in the
+    heap but is skipped by the loop (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is still going to fire."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        return f"<Event t={self.time} seq={self.seq} {state} {self.callback!r}>"
+
+
+class Kernel:
+    """Discrete-event loop with integer-microsecond time.
+
+    Example
+    -------
+    >>> k = Kernel()
+    >>> out = []
+    >>> _ = k.schedule(10, out.append, "a")
+    >>> _ = k.schedule(5, out.append, "b")
+    >>> k.run()
+    >>> out
+    ['b', 'a']
+    >>> k.now
+    10
+    """
+
+    def __init__(self, start_time: int = 0) -> None:
+        self._now = int(start_time)
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` µs from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay} us in the past")
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now is t={self._now})"
+            )
+        event = Event(int(time), self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Fire the single next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None) -> None:
+        """Run events in order.
+
+        With ``until`` set, runs every event with ``time <= until`` and then
+        advances the clock to exactly ``until`` (even if idle).  Without it,
+        runs until the heap drains or :meth:`stop` is called.
+        """
+        if self._running:
+            raise SimulationError("kernel.run() is not re-entrant")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and head.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = head.time
+                head.fired = True
+                head.callback(*head.args)
+            if until is not None and not self._stopped and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: int) -> None:
+        """Convenience wrapper: run for ``duration`` µs of simulated time."""
+        if duration < 0:
+            raise SimulationError("duration must be non-negative")
+        self.run(until=self._now + duration)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to return after this event."""
+        self._stopped = True
+
+    # -- introspection --------------------------------------------------------
+
+    def pending_count(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def next_event_time(self) -> Optional[int]:
+        """Time of the next pending event, or None when idle."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel t={self._now} pending={self.pending_count()}>"

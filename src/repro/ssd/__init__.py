@@ -1,0 +1,32 @@
+"""The device under test: a complete SATA SSD model.
+
+Ties the substrates together — NAND array (:mod:`repro.nand`), FTL
+(:mod:`repro.ftl`), volatile write cache (:mod:`repro.cache`) — behind a
+host-visible command interface with realistic power behaviour:
+
+- the device drops off the bus when its rail crosses **4.5 V** (the paper's
+  measured detach threshold, Fig. 4b) — host-side, every outstanding and
+  subsequent command fails (*IO error*);
+- the controller keeps operating internally down to the **brownout floor**,
+  so the flusher destages cache content *onto a sagging rail* during the
+  PSU discharge window — programs committed there are marginal;
+- at brownout, in-flight programs are torn, the DRAM cache evaporates, and
+  the volatile map strands its unjournaled updates.
+
+Public surface: :class:`~repro.ssd.device.SsdDevice`,
+:class:`~repro.ssd.device.SsdConfig`, :class:`~repro.ssd.command.IoCommand`,
+:class:`~repro.ssd.models` (Table I presets).
+"""
+
+from repro.ssd.command import CommandStatus, IoCommand
+from repro.ssd.device import SsdConfig, SsdDevice
+from repro.ssd.power_state import DevicePowerState, PowerThresholds
+
+__all__ = [
+    "CommandStatus",
+    "DevicePowerState",
+    "IoCommand",
+    "PowerThresholds",
+    "SsdConfig",
+    "SsdDevice",
+]

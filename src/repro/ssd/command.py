@@ -1,0 +1,110 @@
+"""Host-visible IO commands.
+
+Commands are page-granular (the block layer converts byte/sector requests):
+a write carries one data token per 4 KiB page; a read returns the tokens it
+found.  ``IoCommand`` doubles as the completion record — the block layer
+keeps a reference and inspects ``status`` / timing after the callback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ProtocolError
+
+
+class CommandOp(enum.Enum):
+    """Operation kinds the device accepts."""
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    TRIM = "trim"
+
+
+class CommandStatus(enum.Enum):
+    """Terminal state of a command."""
+
+    PENDING = "pending"
+    OK = "ok"
+    IO_ERROR = "io_error"
+
+
+@dataclass
+class IoCommand:
+    """One device command.
+
+    Attributes
+    ----------
+    op:
+        READ / WRITE / FLUSH.
+    lpn:
+        First logical page (ignored for FLUSH).
+    page_count:
+        Pages covered (0 for FLUSH).
+    tokens:
+        WRITE: one data token per page.  READ: filled in on completion.
+    """
+
+    op: CommandOp
+    lpn: int = 0
+    page_count: int = 0
+    tokens: List[int] = field(default_factory=list)
+    on_complete: Optional[Callable[["IoCommand"], None]] = None
+    submit_time: int = -1
+    complete_time: int = -1
+    status: CommandStatus = CommandStatus.PENDING
+    tag: int = -1
+
+    def __post_init__(self) -> None:
+        if self.op is CommandOp.FLUSH:
+            if self.page_count != 0:
+                raise ProtocolError("FLUSH carries no pages")
+            return
+        if self.page_count <= 0:
+            raise ProtocolError("zero-length IO command")
+        if self.lpn < 0:
+            raise ProtocolError("negative LPN")
+        if self.op is CommandOp.WRITE and len(self.tokens) != self.page_count:
+            raise ProtocolError("write needs one token per page")
+        if self.op is CommandOp.TRIM and self.tokens:
+            raise ProtocolError("TRIM carries no data")
+
+    @property
+    def bytes(self) -> int:
+        """Transfer size (4 KiB logical pages)."""
+        return self.page_count * 4096
+
+    @property
+    def done(self) -> bool:
+        """True once the command reached a terminal status."""
+        return self.status is not CommandStatus.PENDING
+
+    @property
+    def latency_us(self) -> Optional[int]:
+        """Submit-to-complete latency, if the command finished."""
+        if self.complete_time < 0 or self.submit_time < 0:
+            return None
+        return self.complete_time - self.submit_time
+
+    @classmethod
+    def write(cls, lpn: int, tokens: List[int], **kwargs) -> "IoCommand":
+        """Convenience write constructor."""
+        return cls(CommandOp.WRITE, lpn=lpn, page_count=len(tokens), tokens=list(tokens), **kwargs)
+
+    @classmethod
+    def read(cls, lpn: int, page_count: int, **kwargs) -> "IoCommand":
+        """Convenience read constructor."""
+        return cls(CommandOp.READ, lpn=lpn, page_count=page_count, **kwargs)
+
+    @classmethod
+    def flush(cls, **kwargs) -> "IoCommand":
+        """Convenience flush-barrier constructor."""
+        return cls(CommandOp.FLUSH, **kwargs)
+
+    @classmethod
+    def trim(cls, lpn: int, page_count: int, **kwargs) -> "IoCommand":
+        """Convenience TRIM/discard constructor."""
+        return cls(CommandOp.TRIM, lpn=lpn, page_count=page_count, **kwargs)

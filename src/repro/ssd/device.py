@@ -1,0 +1,613 @@
+"""The integrated SSD device model.
+
+See the package docstring for the power-behaviour overview.  The device runs
+two internal processes while READY:
+
+- the **dispatcher** serves host commands in FIFO order through a single
+  command processor (its per-command overhead is what caps random-write
+  IOPS — the saturation the paper measures in Fig. 8);
+- the **flusher** destages the write cache to flash in parallel batches,
+  carrying precise per-page planned commit times so that a power fault can
+  be resolved page-exactly: pages whose commit instant had passed are
+  durable (at whatever voltage the rail had *at that instant*), the pages
+  in flight are torn mid-ISPP, the rest die with the DRAM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.cache import FlushPolicy, SupercapBackup, WriteCache
+from repro.errors import ConfigurationError, ProtocolError
+from repro.ftl import Ftl, FtlConfig, RecoveryReport
+from repro.ftl.ftl import WritePlan
+from repro.nand import (
+    CellKind,
+    CorruptionModel,
+    EccScheme,
+    FlashChip,
+    NandGeometry,
+    NandTiming,
+)
+from repro.nand.chip import PageState
+from repro.power.psu import AtxPsu
+from repro.rand import RandomStreams
+from repro.sim import Kernel, Process, Signal
+from repro.ssd.command import CommandOp, CommandStatus, IoCommand
+from repro.ssd.power_state import DevicePowerState, PowerThresholds
+from repro.units import GIB, KIB, MSEC
+
+CORRUPT_TOKEN = -1
+"""Peek result for a page whose data is uncorrectable."""
+
+
+@dataclass(frozen=True)
+class SsdConfig:
+    """Full device specification (one row of the paper's Table I).
+
+    All component configs are immutable; build variants with
+    ``dataclasses.replace``.
+    """
+
+    name: str = "generic-mlc"
+    capacity_bytes: int = 128 * GIB
+    cell: CellKind = CellKind.MLC
+    ecc: EccScheme = EccScheme.bch()
+    timing: NandTiming = NandTiming()
+    corruption: CorruptionModel = CorruptionModel()
+    ftl: FtlConfig = FtlConfig()
+    flush: FlushPolicy = FlushPolicy()
+    cache_enabled: bool = True
+    cache_capacity_pages: int = 65536  # 256 MiB of 4 KiB pages
+    thresholds: PowerThresholds = PowerThresholds()
+    interface_overhead_us: int = 140
+    link_mib_per_sec: int = 550
+    queue_depth: int = 32
+    current_draw_amps: float = 1.0
+    init_time_us: int = 400 * MSEC
+    supercap: Optional[SupercapBackup] = None
+    release_year: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.interface_overhead_us < 0 or self.link_mib_per_sec <= 0:
+            raise ConfigurationError("bad interface parameters")
+        if self.queue_depth <= 0:
+            raise ConfigurationError("queue depth must be positive")
+        if self.cache_capacity_pages <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        if not 0.0 < self.current_draw_amps < 10.0:
+            raise ConfigurationError("implausible current draw")
+
+    @property
+    def write_back(self) -> bool:
+        """True when writes are acknowledged from DRAM."""
+        return self.cache_enabled and not self.flush.write_through
+
+    def transfer_us(self, nbytes: int) -> int:
+        """Host-link transfer time for ``nbytes``."""
+        return round(nbytes / (self.link_mib_per_sec * KIB * KIB) * 1_000_000)
+
+
+@dataclass
+class _FlushBatch:
+    """Bookkeeping for one in-flight destage batch."""
+
+    plans: List[WritePlan]
+    tokens: List[List[int]]  # parallel to plans
+    run_bounds: List[Tuple[int, int]]  # batch-index range per plan
+    start_us: int
+    page_write_us: int
+    parallelism: int
+    total_pages: int
+
+    def commit_time(self, batch_index: int) -> int:
+        """Planned commit instant of the batch's ``batch_index``-th page."""
+        round_number = batch_index // self.parallelism
+        return self.start_us + (round_number + 1) * self.page_write_us
+
+    def committed_prefix(self, now: int) -> int:
+        """Number of leading pages whose commit instant has passed."""
+        full_rounds = max(0, (now - self.start_us) // self.page_write_us)
+        return min(self.total_pages, full_rounds * self.parallelism)
+
+    def started_count(self, now: int) -> int:
+        """Pages whose program pulse train had begun by ``now``."""
+        if now <= self.start_us:
+            return 0
+        rounds_started = (now - self.start_us + self.page_write_us - 1) // self.page_write_us
+        return min(self.total_pages, rounds_started * self.parallelism)
+
+    @property
+    def duration_us(self) -> int:
+        """Wall time of the whole batch."""
+        rounds = -(-self.total_pages // self.parallelism)
+        return rounds * self.page_write_us
+
+
+@dataclass
+class PowerFaultDamage:
+    """Per-fault internal damage summary (forensics / tests)."""
+
+    dirty_pages_lost: int = 0
+    inflight_pages_torn: int = 0
+    inflight_pages_corrupted: int = 0
+    collateral_pages_corrupted: int = 0
+    stranded_map_updates: int = 0
+    commands_errored: int = 0
+    supercap_pages_saved: int = 0
+
+
+class SsdDevice:
+    """A complete SSD wired to a PSU rail.
+
+    Example
+    -------
+    >>> from repro.sim import Kernel
+    >>> from repro.power import AtxPsu
+    >>> k = Kernel()
+    >>> psu = AtxPsu(k); psu.mains_on()
+    >>> ssd = SsdDevice(k, SsdConfig(), psu, RandomStreams(1))
+    >>> psu.set_ps_on(True); k.run()
+    >>> ssd.state
+    <DevicePowerState.READY: 'ready'>
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        config: SsdConfig,
+        psu: AtxPsu,
+        streams: RandomStreams,
+        name: str = "",
+    ) -> None:
+        self.kernel = kernel
+        self.config = config
+        self.psu = psu
+        self.name = name or config.name
+        self.streams = streams
+        geometry = NandGeometry.for_capacity(config.capacity_bytes)
+        self._backup_power = False  # supercap holding the internals up
+        self.chip = FlashChip(
+            kernel,
+            geometry,
+            cell=config.cell,
+            timing=config.timing,
+            ecc=config.ecc,
+            corruption=config.corruption,
+            rng=streams.stream("nand"),
+            voltage_source=self._internal_volts_now,
+        )
+        self.ftl = Ftl(kernel, self.chip, config.ftl, streams.stream("ftl"))
+        self.cache = WriteCache(config.cache_capacity_pages)
+        self.parallelism = geometry.planes
+        self.page_write_us = config.timing.page_write_us(config.cell, geometry.page_size)
+        self.page_read_us = config.timing.page_read_us(geometry.page_size)
+
+        self.state = DevicePowerState.OFF
+        self._unclean_shutdown = False
+        self._queue: Deque[IoCommand] = deque()
+        self._current_cmd: Optional[IoCommand] = None
+        self._arrival = Signal(kernel, f"{self.name}.arrival")
+        self._dirty = Signal(kernel, f"{self.name}.dirty")
+        self._drain = Signal(kernel, f"{self.name}.drain")
+        self.ready_signal = Signal(kernel, f"{self.name}.ready")
+        self._dispatcher: Optional[Process] = None
+        self._flusher: Optional[Process] = None
+        self._active_batch: Optional[_FlushBatch] = None
+        self._init_event = None
+        self.last_recovery: Optional[RecoveryReport] = None
+        self.last_damage: Optional[PowerFaultDamage] = None
+
+        # Statistics.
+        self.commands_ok = 0
+        self.commands_errored = 0
+        self.reads_ok = 0
+        self.writes_ok = 0
+        self.power_cycles = 0
+        self.unclean_losses = 0
+
+        psu.attach_load(self)
+        thresholds = config.thresholds
+        psu.watch_threshold(
+            thresholds.detach_volts, self._on_detach, on_rising=self._on_rail_up
+        )
+        psu.watch_threshold(thresholds.brownout_volts, self._on_brownout)
+
+    # -- internal rail -----------------------------------------------------------
+
+    def _internal_volts_now(self) -> float:
+        """Voltage the controller/NAND actually see right now.
+
+        A PLP (supercap) drive switches to its capacitor bank the moment the
+        external rail sags below the detach threshold, so its internals keep
+        seeing nominal voltage; everything else rides the PSU waveform.
+        """
+        if self._backup_power:
+            return 5.0
+        return self.psu.voltage()
+
+    def _internal_volts_at(self, time_us: int) -> float:
+        """Voltage the internals saw at a (past) commit instant."""
+        if self._backup_power:
+            return 5.0
+        return self.psu.voltage_at(time_us)
+
+    # -- PSU load protocol ---------------------------------------------------------
+
+    def current_draw_amps(self) -> float:
+        """Load presented to the 5 V rail."""
+        if self.state in (DevicePowerState.OFF, DevicePowerState.DEAD):
+            return 0.02  # leakage only
+        return self.config.current_draw_amps
+
+    # -- host interface ---------------------------------------------------------------
+
+    def submit(self, command: IoCommand) -> None:
+        """Queue a command; completion is reported via ``command.on_complete``.
+
+        Commands submitted while the device is not READY fail immediately
+        with IO_ERROR — the host-visible unavailability the paper measures.
+        """
+        command.submit_time = self.kernel.now
+        if self.state is not DevicePowerState.READY:
+            self._complete(command, CommandStatus.IO_ERROR)
+            return
+        max_pages = self.chip.geometry.total_pages
+        if command.op is not CommandOp.FLUSH and command.lpn + command.page_count > max_pages:
+            raise ProtocolError(
+                f"command beyond device capacity ({command.lpn}+{command.page_count})"
+            )
+        self._queue.append(command)
+        self._arrival.fire()
+
+    @property
+    def queue_length(self) -> int:
+        """Commands waiting for the dispatcher (excludes the one in service)."""
+        return len(self._queue)
+
+    def peek(self, lpn: int) -> Optional[int]:
+        """Zero-time forensic read used by the Analyzer after recovery.
+
+        Returns the data token visible at ``lpn``: the dirty-cache token if
+        buffered, the flash token if mapped and correctable,
+        :data:`CORRUPT_TOKEN` if unreadable, or None when the page reads as
+        erased/unmapped.
+        """
+        if self.config.write_back:
+            entry = self.cache.peek(lpn)
+            if entry is not None:
+                return entry.token
+        result = self.ftl.read(lpn)
+        if result.state is PageState.ERASED:
+            return None
+        if not result.ok:
+            return CORRUPT_TOKEN
+        return result.token
+
+    # -- completion plumbing -------------------------------------------------------------
+
+    def _complete(self, command: IoCommand, status: CommandStatus) -> None:
+        if command.done:
+            return
+        command.status = status
+        command.complete_time = self.kernel.now
+        if status is CommandStatus.OK:
+            self.commands_ok += 1
+            if command.op is CommandOp.READ:
+                self.reads_ok += 1
+            elif command.op is CommandOp.WRITE:
+                self.writes_ok += 1
+        else:
+            self.commands_errored += 1
+        if command.on_complete is not None:
+            command.on_complete(command)
+
+    # -- dispatcher process -----------------------------------------------------------------
+
+    def _dispatcher_body(self):
+        config = self.config
+        while True:
+            if not self._queue:
+                yield self._arrival
+                continue
+            command = self._queue.popleft()
+            self._current_cmd = command
+            transfer = (
+                config.transfer_us(command.bytes)
+                if command.op in (CommandOp.READ, CommandOp.WRITE)
+                else 0
+            )
+            yield config.interface_overhead_us + transfer
+            if command.op is CommandOp.WRITE:
+                if config.write_back:
+                    # Admission throttle; a request larger than the whole
+                    # budget is admitted once the cache is empty.
+                    while self.cache.dirty_count > 0 and self.config.flush.throttled(
+                        self.cache.dirty_count, command.page_count
+                    ):
+                        self._dirty.fire()
+                        yield self._drain
+                    now = self.kernel.now
+                    for offset in range(command.page_count):
+                        self.cache.insert(
+                            command.lpn + offset, command.tokens[offset], now
+                        )
+                    self._dirty.fire()
+                    self._complete(command, CommandStatus.OK)
+                else:
+                    # Write-through: durable before ACK (cache disabled).
+                    yield from self._write_through(command)
+            elif command.op is CommandOp.READ:
+                nand_pages = 0
+                tokens: List[int] = []
+                for offset in range(command.page_count):
+                    lpn = command.lpn + offset
+                    hit = (
+                        self.cache.read_hit(lpn) if config.write_back else None
+                    )
+                    if hit is not None:
+                        tokens.append(hit)
+                        continue
+                    nand_pages += 1
+                    result = self.ftl.read(lpn)
+                    if result.state is PageState.ERASED:
+                        tokens.append(0)
+                    elif not result.ok:
+                        tokens.append(CORRUPT_TOKEN)
+                    else:
+                        tokens.append(result.token)
+                if nand_pages:
+                    rounds = -(-nand_pages // self.parallelism)
+                    yield rounds * self.page_read_us
+                command.tokens = tokens
+                self._complete(command, CommandStatus.OK)
+            elif command.op is CommandOp.TRIM:
+                if config.write_back:
+                    self.cache.discard(command.lpn, command.page_count)
+                self.ftl.trim_range(command.lpn, command.page_count)
+                self._complete(command, CommandStatus.OK)
+            elif command.op is CommandOp.FLUSH:
+                while self.cache.dirty_count > 0:
+                    self._dirty.fire()
+                    yield self._drain
+                self.ftl.checkpoint()
+                self._complete(command, CommandStatus.OK)
+            self._current_cmd = None
+
+    def _write_through(self, command: IoCommand):
+        lpns = list(range(command.lpn, command.lpn + command.page_count))
+        batch = self._build_batch([(lpn, tok) for lpn, tok in zip(lpns, command.tokens)])
+        self._active_batch = batch
+        yield (batch.start_us - self.kernel.now) + batch.duration_us
+        self._commit_batch_full(batch)
+        self._active_batch = None
+        self._complete(command, CommandStatus.OK)
+
+    # -- flusher process --------------------------------------------------------------------
+
+    def _flusher_body(self):
+        policy = self.config.flush
+        while True:
+            if self.cache.dirty_count == 0:
+                yield self._dirty
+                continue
+            if self.cache.dirty_count < policy.batch_pages and policy.linger_us > 0:
+                yield policy.linger_us  # small-write aggregation window
+            entries = self.cache.take_batch(policy.batch_pages)
+            if not entries:
+                continue
+            batch = self._build_batch([(e.lpn, e.token) for e in entries])
+            self._active_batch = batch
+            yield (batch.start_us - self.kernel.now) + batch.duration_us
+            self._commit_batch_full(batch)
+            self._active_batch = None
+            self._drain.fire()
+
+    def _build_batch(self, pages: List[Tuple[int, int]]) -> _FlushBatch:
+        """Split a page list into contiguous runs and allocate flash for them."""
+        runs: List[List[Tuple[int, int]]] = []
+        for lpn, token in pages:
+            if runs and runs[-1][-1][0] + 1 == lpn:
+                runs[-1].append((lpn, token))
+            else:
+                runs.append([(lpn, token)])
+        plans: List[WritePlan] = []
+        tokens: List[List[int]] = []
+        bounds: List[Tuple[int, int]] = []
+        cursor = 0
+        for run in runs:
+            plan = self.ftl.prepare_write([lpn for lpn, _ in run])
+            plans.append(plan)
+            tokens.append([token for _, token in run])
+            bounds.append((cursor, cursor + len(run)))
+            cursor += len(run)
+        extra_us = self.ftl.consume_background_us()
+        batch = _FlushBatch(
+            plans=plans,
+            tokens=tokens,
+            run_bounds=bounds,
+            start_us=self.kernel.now + extra_us,
+            page_write_us=self.page_write_us,
+            parallelism=self.parallelism,
+            total_pages=cursor,
+        )
+        return batch
+
+    def _commit_batch_full(self, batch: _FlushBatch) -> None:
+        for plan, run_tokens, (lo, hi) in zip(batch.plans, batch.tokens, batch.run_bounds):
+            volts = [
+                self._internal_volts_at(batch.commit_time(index))
+                for index in range(lo, hi)
+            ]
+            self.ftl.commit_write(plan, run_tokens, volts)
+
+    def _resolve_batch_partial(self, batch: _FlushBatch, damage: PowerFaultDamage) -> None:
+        """Page-exact resolution of a batch torn by brownout."""
+        now = self.kernel.now
+        committed = batch.committed_prefix(now)
+        started = batch.started_count(now)
+        for plan, run_tokens, (lo, hi) in zip(batch.plans, batch.tokens, batch.run_bounds):
+            commit_hi = max(lo, min(hi, committed))
+            if commit_hi > lo:
+                volts = [
+                    self._internal_volts_at(batch.commit_time(index))
+                    for index in range(lo, commit_hi)
+                ]
+                self.ftl.commit_write_slice(
+                    plan, run_tokens, 0, commit_hi - lo, volts
+                )
+            # Pages whose pulse train had begun but not finished are torn.
+            for index in range(max(lo, committed), min(hi, started)):
+                _, ppa = plan.assignments[index - lo]
+                progress_base = batch.commit_time(index) - batch.page_write_us
+                progress = (now - progress_base) / batch.page_write_us
+                progress = min(1.0, max(0.0, progress))
+                report = self.chip.apply_interruption(
+                    ppa, progress, run_tokens[index - lo]
+                )
+                damage.inflight_pages_torn += 1
+                damage.inflight_pages_corrupted += len(report.corrupted_pages)
+                damage.collateral_pages_corrupted += len(report.collateral_pages)
+            # Later pages never reached the array; their data dies with DRAM.
+            damage.dirty_pages_lost += max(0, hi - max(lo, started))
+
+    # -- power-event handlers ------------------------------------------------------------------
+
+    def _on_detach(self, volts: float) -> None:
+        if self.state not in (DevicePowerState.READY, DevicePowerState.INITIALIZING):
+            return
+        was_initializing = self.state is DevicePowerState.INITIALIZING
+        self.state = DevicePowerState.DETACHED
+        if self._init_event is not None:
+            self._init_event.cancel()
+            self._init_event = None
+        if was_initializing:
+            return
+        # Host side: the link is gone.  Every outstanding command errors.
+        damage = PowerFaultDamage()
+        if self._dispatcher is not None:
+            self._dispatcher.kill()
+            self._dispatcher = None
+        if self._current_cmd is not None and not self._current_cmd.done:
+            self._complete(self._current_cmd, CommandStatus.IO_ERROR)
+            damage.commands_errored += 1
+            self._current_cmd = None
+        while self._queue:
+            self._complete(self._queue.popleft(), CommandStatus.IO_ERROR)
+            damage.commands_errored += 1
+        self.last_damage = damage
+        # Internals (flusher, journal timer) keep running — PLP drives hand
+        # over to the capacitor bank, everything else rides the sagging rail.
+        if self.config.supercap is not None:
+            self._backup_power = True
+
+    def _on_brownout(self, volts: float) -> None:
+        if self.state is not DevicePowerState.DETACHED:
+            return
+        self.state = DevicePowerState.DEAD
+        self.unclean_losses += 1
+        self._unclean_shutdown = True
+        damage = self.last_damage or PowerFaultDamage()
+        # Supercap (if fitted) destages what its energy budget allows.
+        if self.config.supercap is not None:
+            saved = self._supercap_destage(self.config.supercap)
+            damage.supercap_pages_saved = saved
+        if self._flusher is not None and self._flusher.alive:
+            batch = self._active_batch
+            self._flusher.kill()
+            if batch is not None:
+                self._resolve_batch_partial(batch, damage)
+                self._active_batch = None
+        self._flusher = None
+        if self._dispatcher is not None and self._dispatcher.alive:
+            # Write-through path may have a batch in flight too.
+            batch = self._active_batch
+            self._dispatcher.kill()
+            if batch is not None:
+                self._resolve_batch_partial(batch, damage)
+                self._active_batch = None
+            self._dispatcher = None
+        lost = self.cache.drop_all()
+        damage.dirty_pages_lost += len(lost)
+        damage.stranded_map_updates = self.ftl.journal.pending_count
+        self._backup_power = False  # the capacitor bank is spent
+        self.ftl.power_loss()
+        self.chip.power_loss()
+        self.last_damage = damage
+
+    def _supercap_destage(self, supercap: SupercapBackup) -> int:
+        budget_pages = supercap.destageable_pages(self.page_write_us, self.parallelism)
+        saved = 0
+        while saved < budget_pages and self.cache.dirty_count > 0:
+            entries = self.cache.take_batch(
+                min(self.config.flush.batch_pages, budget_pages - saved)
+            )
+            if not entries:
+                break
+            batch = self._build_batch([(e.lpn, e.token) for e in entries])
+            # Supercap keeps the internals at nominal voltage while it lasts.
+            for plan, run_tokens, _ in zip(batch.plans, batch.tokens, batch.run_bounds):
+                self.ftl.commit_write(plan, run_tokens, [5.0] * plan.page_count)
+            saved += batch.total_pages
+        if self.cache.dirty_count == 0:
+            self.ftl.checkpoint()  # clean map on the way down
+        return saved
+
+    def _on_rail_up(self, volts: float) -> None:
+        if self.state not in (DevicePowerState.OFF, DevicePowerState.DEAD, DevicePowerState.DETACHED):
+            return
+        self.state = DevicePowerState.INITIALIZING
+        self._backup_power = False  # external rail is back
+        self.power_cycles += 1
+        self._init_event = self.kernel.schedule(self.config.init_time_us, self._init_done)
+
+    def _init_done(self) -> None:
+        self._init_event = None
+        if self.state is not DevicePowerState.INITIALIZING:
+            return
+        self.chip.power_on()
+        if self._unclean_shutdown:
+            self.last_recovery = self.ftl.power_on_recover()
+            self._unclean_shutdown = False
+        else:
+            self.ftl.start()
+        self.state = DevicePowerState.READY
+        self._queue.clear()
+        self._dispatcher = Process(
+            self.kernel, self._dispatcher_body(), name=f"{self.name}.dispatcher"
+        )
+        self._flusher = Process(
+            self.kernel, self._flusher_body(), name=f"{self.name}.flusher"
+        )
+        self.ready_signal.fire()
+
+    # -- introspection -------------------------------------------------------------------------
+
+    @property
+    def is_ready(self) -> bool:
+        """True while the device accepts host commands."""
+        return self.state is DevicePowerState.READY
+
+    def smart_log(self):
+        """SMART-style health snapshot (see :mod:`repro.ssd.smart`)."""
+        from repro.ssd.smart import collect_smart
+
+        return collect_smart(self)
+
+    def stats(self) -> Dict:
+        """Counters snapshot."""
+        return {
+            "state": self.state.value,
+            "commands_ok": self.commands_ok,
+            "commands_errored": self.commands_errored,
+            "reads_ok": self.reads_ok,
+            "writes_ok": self.writes_ok,
+            "power_cycles": self.power_cycles,
+            "unclean_losses": self.unclean_losses,
+            "cache_dirty": self.cache.dirty_count,
+            "ftl": self.ftl.stats(),
+        }

@@ -1,0 +1,55 @@
+"""Device power states and voltage thresholds.
+
+The state ladder during a fault::
+
+    READY --(rail < detach_volts, ~40 ms after the cut)--> DETACHED
+          --(rail < brownout_volts)--------------------->  DEAD
+
+DETACHED is the paper's "SSD becomes unavailable within the software part"
+condition: the host link is gone but the controller still runs from the
+sagging rail — the window in which destaged data lands marginally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import SSD_DETACH_VOLTAGE
+
+
+class DevicePowerState(enum.Enum):
+    """Host- and controller-level availability."""
+
+    OFF = "off"  # rail absent, nothing running
+    INITIALIZING = "initializing"  # rail nominal, firmware booting/recovering
+    READY = "ready"  # accepting host commands
+    DETACHED = "detached"  # link lost (rail < 4.5 V), internals alive
+    DEAD = "dead"  # rail below brownout floor
+
+
+@dataclass(frozen=True)
+class PowerThresholds:
+    """Voltage levels that drive the state ladder.
+
+    ``detach_volts`` is the paper's measured 4.5 V; ``brownout_volts`` is
+    where controller logic and NAND programming cease entirely.
+    """
+
+    detach_volts: float = SSD_DETACH_VOLTAGE
+    brownout_volts: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.brownout_volts < self.detach_volts <= 5.0:
+            raise ConfigurationError(
+                "thresholds must satisfy 0 < brownout < detach <= 5.0"
+            )
+
+    def state_for_voltage(self, volts: float) -> DevicePowerState:
+        """Steady-state classification of a rail voltage (ignores boot time)."""
+        if volts >= self.detach_volts:
+            return DevicePowerState.READY
+        if volts >= self.brownout_volts:
+            return DevicePowerState.DETACHED
+        return DevicePowerState.DEAD

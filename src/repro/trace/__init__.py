@@ -1,0 +1,28 @@
+"""Block-layer IO tracing — the blktrace / blkparse / btt stand-ins.
+
+The paper's Analyzer decides whether a request *completed* by post-processing
+blktrace output with a modified ``btt`` whose ``--per-io-dump`` was extended
+to reassemble split requests and expose per-IO timing.  This package
+reproduces that toolchain:
+
+- :mod:`repro.trace.events` — action codes and the trace record;
+- :mod:`repro.trace.blktrace` — the in-kernel event collector;
+- :mod:`repro.trace.blkparse` — human-readable formatting;
+- :mod:`repro.trace.btt` — per-IO reassembly: completed/incomplete flags,
+  sub-request accounting, and the 30 s delayed-request rule.
+"""
+
+from repro.trace.blkparse import format_event, format_trace
+from repro.trace.blktrace import BlockTracer
+from repro.trace.btt import Btt, PerIoRecord
+from repro.trace.events import Action, TraceEvent
+
+__all__ = [
+    "Action",
+    "BlockTracer",
+    "Btt",
+    "PerIoRecord",
+    "TraceEvent",
+    "format_event",
+    "format_trace",
+]

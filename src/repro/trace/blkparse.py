@@ -1,0 +1,35 @@
+"""Human-readable trace formatting (blkparse stand-in).
+
+Produces lines shaped like blkparse output::
+
+      8,0    0      17     0.048731000  4211  Q   W 2048 + 16 [io-gen]
+
+Only the fields the paper's workflow reads are meaningful; device major/minor
+and CPU are fixed placeholders.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.trace.events import TraceEvent
+
+DEVICE_LABEL = "8,0"
+CPU_LABEL = "0"
+PROCESS_LABEL = "[io-gen]"
+
+
+def format_event(event: TraceEvent) -> str:
+    """One blkparse-style line for ``event``."""
+    seconds = event.time_us / 1_000_000
+    return (
+        f"{DEVICE_LABEL:>5} {CPU_LABEL:>4} {event.sequence:>7} "
+        f"{seconds:>13.9f} {event.request_id:>5}  "
+        f"{event.action.value}   {event.rwbs} {event.sector} + {event.sectors} "
+        f"{PROCESS_LABEL}"
+    )
+
+
+def format_trace(events: Iterable[TraceEvent]) -> List[str]:
+    """Format a whole event stream."""
+    return [format_event(event) for event in events]

@@ -1,0 +1,44 @@
+"""Workload synthesis — the paper's IO Generator inputs.
+
+Provides the request-level vocabulary of the experiments: checksummed data
+packets (Fig. 2), workload specifications covering every §IV parameter
+(WSS, request size, read/write mix, random/sequential pattern, requested
+IOPS, access sequences), and the generator that turns a spec into block-layer
+traffic.
+
+Public surface: :class:`~repro.workload.packet.DataPacket`,
+:class:`~repro.workload.spec.WorkloadSpec`,
+:class:`~repro.workload.generator.IOGenerator`,
+:mod:`repro.workload.sequences`, :mod:`repro.workload.checksum`.
+"""
+
+from repro.workload.checksum import (
+    TOKEN_ZERO,
+    checksum_of,
+    data_for,
+    page_token,
+    token_owner,
+)
+from repro.workload.generator import IOGenerator
+from repro.workload.packet import DataPacket
+from repro.workload.replay import TraceRecord, TraceReplayer, WorkloadTrace, capture_trace
+from repro.workload.sequences import SEQUENCES, AccessPair
+from repro.workload.spec import AccessPattern, WorkloadSpec
+
+__all__ = [
+    "AccessPair",
+    "AccessPattern",
+    "DataPacket",
+    "IOGenerator",
+    "SEQUENCES",
+    "TOKEN_ZERO",
+    "TraceRecord",
+    "TraceReplayer",
+    "WorkloadSpec",
+    "WorkloadTrace",
+    "capture_trace",
+    "checksum_of",
+    "data_for",
+    "page_token",
+    "token_owner",
+]

@@ -1,0 +1,76 @@
+"""Checksums and data tokens.
+
+The platform verifies data integrity two ways:
+
+- **Symbolic tokens** (the campaign fast path): every written page carries a
+  unique integer identifying *which write of which packet* produced it.
+  Token comparison is exact checksum comparison without materialising
+  payload bytes — the simulation moves tokens, and corruption replaces them
+  with sentinels, so a token mismatch *is* a checksum mismatch.
+- **Real payloads** (examples/tests): deterministic pseudo-random bytes per
+  (packet, page) with CRC-32 checksums, demonstrating that the symbolic
+  scheme computes the same verdicts actual data would.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import ConfigurationError
+
+TOKEN_ZERO = 0
+"""Content token of a never-written (erased) logical page."""
+
+_OFFSET_BITS = 10
+_MAX_PAGES = 1 << _OFFSET_BITS  # 1024 pages = 4 MiB max request
+
+
+def page_token(packet_id: int, page_offset: int) -> int:
+    """Unique token for the ``page_offset``-th page of packet ``packet_id``.
+
+    >>> page_token(1, 0)
+    1024
+    >>> token_owner(page_token(7, 3))
+    (7, 3)
+    """
+    if packet_id <= 0:
+        raise ConfigurationError("packet ids start at 1")
+    if not 0 <= page_offset < _MAX_PAGES:
+        raise ConfigurationError(f"page offset {page_offset} out of range")
+    return (packet_id << _OFFSET_BITS) | page_offset
+
+
+def token_owner(token: int) -> tuple:
+    """Inverse of :func:`page_token`: ``(packet_id, page_offset)``."""
+    if token <= 0:
+        raise ConfigurationError(f"token {token} has no owner")
+    return token >> _OFFSET_BITS, token & (_MAX_PAGES - 1)
+
+
+def data_for(packet_id: int, page_offset: int, size: int = 4096) -> bytes:
+    """Deterministic pseudo-random payload for a page (real-bytes mode).
+
+    A xorshift-seeded byte stream: cheap, reproducible, and collision-free
+    across (packet, page) pairs for checksum purposes.
+    """
+    if size <= 0:
+        raise ConfigurationError("payload size must be positive")
+    state = (page_token(packet_id, page_offset) * 0x9E3779B97F4A7C15) & (2**64 - 1)
+    out = bytearray()
+    while len(out) < size:
+        state ^= (state << 13) & (2**64 - 1)
+        state ^= state >> 7
+        state ^= (state << 17) & (2**64 - 1)
+        out.extend(state.to_bytes(8, "little"))
+    return bytes(out[:size])
+
+
+def checksum_of(data: bytes) -> int:
+    """CRC-32 of a payload (the checksum the paper's packets carry)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def page_checksum(packet_id: int, page_offset: int, size: int = 4096) -> int:
+    """Checksum of the deterministic payload — real-bytes-mode equivalent
+    of the symbolic token."""
+    return checksum_of(data_for(packet_id, page_offset, size))

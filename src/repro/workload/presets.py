@@ -1,0 +1,123 @@
+"""Ready-made workload specs for the paper's experiment families.
+
+Each function returns the :class:`~repro.workload.spec.WorkloadSpec` (or the
+sweep of specs) one of the paper's §IV experiments runs, so users can
+re-run any experiment without re-reading the paper's parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.units import GIB, KIB, MIB
+from repro.workload.spec import AccessPattern, WorkloadSpec
+
+COMMON_SIZE_MIN = 4 * KIB
+COMMON_SIZE_MAX = 1 * MIB
+"""The paper's recurring request-size range ("between 4KB and 1MB")."""
+
+
+def common_random_write(wss_gib: int = 64) -> WorkloadSpec:
+    """The paper's baseline: uniform-random writes, 4 KiB-1 MiB."""
+    return WorkloadSpec(
+        wss_bytes=wss_gib * GIB,
+        read_fraction=0.0,
+        size_min_bytes=COMMON_SIZE_MIN,
+        size_max_bytes=COMMON_SIZE_MAX,
+        pattern=AccessPattern.RANDOM,
+    )
+
+
+def request_type_sweep(wss_gib: int = 32) -> Dict[int, WorkloadSpec]:
+    """Fig. 5: write percentage 100/80/50/20/0 (keyed by READ percent)."""
+    return {
+        read_pct: WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=read_pct / 100.0,
+            size_min_bytes=COMMON_SIZE_MIN,
+            size_max_bytes=COMMON_SIZE_MAX,
+        )
+        for read_pct in (0, 20, 50, 80, 100)
+    }
+
+
+def wss_sweep(wss_gib_points: List[int] = (1, 10, 30, 60, 90)) -> Dict[int, WorkloadSpec]:
+    """Fig. 6: working-set sizes from 1 to 90 GiB."""
+    for value in wss_gib_points:
+        if value <= 0:
+            raise ConfigurationError("WSS points must be positive")
+    return {
+        wss: WorkloadSpec(
+            wss_bytes=wss * GIB,
+            read_fraction=0.0,
+            size_min_bytes=COMMON_SIZE_MIN,
+            size_max_bytes=COMMON_SIZE_MAX,
+        )
+        for wss in wss_gib_points
+    }
+
+
+def access_pattern_pair(wss_gib: int = 64) -> Dict[str, WorkloadSpec]:
+    """§IV-D: fully random vs fully sequential writes, equal WSS."""
+    return {
+        pattern.value: WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+            size_min_bytes=COMMON_SIZE_MIN,
+            size_max_bytes=COMMON_SIZE_MAX,
+            pattern=pattern,
+        )
+        for pattern in (AccessPattern.RANDOM, AccessPattern.SEQUENTIAL)
+    }
+
+
+def request_size_sweep(wss_gib: int = 32) -> Dict[int, WorkloadSpec]:
+    """Fig. 7: constant request size per experiment (keyed by KiB)."""
+    return {
+        size_kib: WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+            size_min_bytes=size_kib * KIB,
+            size_max_bytes=size_kib * KIB,
+        )
+        for size_kib in (4, 16, 64, 256, 1024)
+    }
+
+
+def iops_sweep(wss_gib: int = 32) -> Dict[int, WorkloadSpec]:
+    """Fig. 8: requested IOPS sweep (4 KiB commands — see the bench note)."""
+    return {
+        iops: WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+            size_min_bytes=4 * KIB,
+            size_max_bytes=4 * KIB,
+            requested_iops=float(iops),
+        )
+        for iops in (1200, 2400, 6000, 12000, 20000, 25000, 30000)
+    }
+
+
+def sequence_sweep(wss_gib: int = 32) -> Dict[str, WorkloadSpec]:
+    """Fig. 9: the four paired-access sequences."""
+    return {
+        name: WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            size_min_bytes=COMMON_SIZE_MIN,
+            size_max_bytes=COMMON_SIZE_MAX,
+            sequence=name,
+        )
+        for name in ("RAR", "RAW", "WAR", "WAW")
+    }
+
+
+ALL_FAMILIES = {
+    "fig5_request_type": request_type_sweep,
+    "fig6_wss": wss_sweep,
+    "sec4d_pattern": access_pattern_pair,
+    "fig7_request_size": request_size_sweep,
+    "fig8_iops": iops_sweep,
+    "fig9_sequences": sequence_sweep,
+}
+"""Experiment family -> sweep builder, keyed like the calibration registry."""

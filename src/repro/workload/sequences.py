@@ -1,0 +1,53 @@
+"""Access-sequence pairs (paper §IV-G).
+
+The sequence experiments submit *pairs* of accesses where the second access
+targets "the address of the previously completed request":
+
+========  =============  ==============
+Name      First access   Second access
+========  =============  ==============
+RAR       read           read
+RAW       write          read   ("Read After Write")
+WAR       read           write  ("Write After Read")
+WAW       write          write
+========  =============  ==============
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AccessPair:
+    """One sequence pattern: operation types of the two paired accesses."""
+
+    name: str
+    first_is_write: bool
+    second_is_write: bool
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of accesses in the pair that are writes."""
+        return (int(self.first_is_write) + int(self.second_is_write)) / 2.0
+
+
+SEQUENCES: Dict[str, AccessPair] = {
+    "RAR": AccessPair("RAR", first_is_write=False, second_is_write=False),
+    "RAW": AccessPair("RAW", first_is_write=True, second_is_write=False),
+    "WAR": AccessPair("WAR", first_is_write=False, second_is_write=True),
+    "WAW": AccessPair("WAW", first_is_write=True, second_is_write=True),
+}
+
+
+def pair_for(name: str) -> AccessPair:
+    """Look up a sequence pattern by name (case-insensitive)."""
+    try:
+        return SEQUENCES[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown access sequence {name!r}; known: {sorted(SEQUENCES)}"
+        ) from None

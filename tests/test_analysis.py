@@ -1,0 +1,126 @@
+"""Tests for analysis statistics and ASCII reporting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ascii_bar_series,
+    ascii_table,
+    mean,
+    paper_vs_measured,
+    proportion_confidence_interval,
+    relative_spread,
+    saturation_point,
+    stdev,
+)
+from repro.analysis.report import format_float
+from repro.analysis.stats import is_monotone_decreasing, is_monotone_increasing
+from repro.errors import ConfigurationError
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert mean([]) == 0.0
+
+    def test_stdev(self):
+        assert stdev([2, 2, 2]) == 0.0
+        assert stdev([1]) == 0.0
+        assert stdev([1, 3]) == pytest.approx(2 ** 0.5)
+
+    def test_relative_spread_flat(self):
+        assert relative_spread([5, 5, 5]) == 0.0
+
+    def test_relative_spread_varied(self):
+        assert relative_spread([4, 6]) == pytest.approx(0.4)
+
+    def test_relative_spread_zero_mean(self):
+        assert relative_spread([0, 0]) == 0.0
+
+    def test_wilson_interval_contains_point(self):
+        lo, hi = proportion_confidence_interval(30, 100)
+        assert lo < 0.30 < hi
+
+    def test_wilson_interval_edges(self):
+        lo, hi = proportion_confidence_interval(0, 10)
+        assert lo == 0.0
+        lo, hi = proportion_confidence_interval(10, 10)
+        assert hi == 1.0
+
+    def test_wilson_validation(self):
+        with pytest.raises(ConfigurationError):
+            proportion_confidence_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            proportion_confidence_interval(5, 3)
+
+    @given(st.integers(0, 50), st.integers(1, 50))
+    def test_wilson_bounds_property(self, successes, extra):
+        trials = successes + extra
+        lo, hi = proportion_confidence_interval(successes, trials)
+        assert 0.0 <= lo <= successes / trials <= hi <= 1.0
+
+    def test_saturation_point(self):
+        xs = [1000, 2000, 4000, 8000, 16000]
+        ys = [1000, 2000, 4000, 6900, 6900]
+        assert saturation_point(xs, ys) == 8000
+
+    def test_saturation_none_for_empty(self):
+        assert saturation_point([], []) is None
+
+    def test_saturation_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            saturation_point([1], [])
+
+    def test_monotone_helpers(self):
+        assert is_monotone_decreasing([5, 4, 4, 1])
+        assert not is_monotone_decreasing([1, 2])
+        assert is_monotone_decreasing([5, 5.2, 4], slack=0.05)
+        assert is_monotone_increasing([1, 2, 2])
+        assert not is_monotone_increasing([2, 1])
+
+
+class TestReport:
+    def test_table_alignment(self):
+        out = ascii_table(["name", "v"], [["a", 1], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_table_title(self):
+        out = ascii_table(["a"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_table_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([], [])
+        with pytest.raises(ConfigurationError):
+            ascii_table(["a"], [[1, 2]])
+
+    def test_bar_series_scales_to_peak(self):
+        out = ascii_bar_series(["x", "y"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_series_zero_values(self):
+        out = ascii_bar_series(["x"], [0.0])
+        assert "#" not in out
+
+    def test_bar_series_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_bar_series(["x"], [])
+        with pytest.raises(ConfigurationError):
+            ascii_bar_series(["x"], [1.0], width=0)
+
+    def test_paper_vs_measured_block(self):
+        out = paper_vs_measured([["loss/fault", 2.0, 2.3, "OK"]])
+        assert "quantity" in out
+        assert "verdict" in out
+        assert "loss/fault" in out
+
+    def test_format_float(self):
+        assert format_float(None) == "-"
+        assert format_float(1.2345) == "1.23"
+        assert format_float(1.2345, digits=3) == "1.234"

@@ -1,0 +1,98 @@
+"""Tests for CSV/JSON result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    campaign_to_dict,
+    save_campaign_csv,
+    save_campaign_json,
+    save_series_csv,
+    save_sweep_csv,
+)
+from repro.core.results import CampaignResult, FaultCycleResult
+from repro.errors import ConfigurationError
+
+
+def sample_result(label="sample", cycles=3):
+    result = CampaignResult(label=label)
+    for index in range(cycles):
+        result.add_cycle(
+            FaultCycleResult(
+                cycle_index=index,
+                fault_time_us=index * 1_000_000,
+                requests_completed=100 + index,
+                writes_completed=90,
+                reads_completed=10 + index,
+                data_failures=index,
+                fwa_failures=1,
+                io_errors=2,
+            )
+        )
+    result.traffic_time_us = 3_000_000
+    return result
+
+
+class TestCampaignExport:
+    def test_dict_shape(self):
+        data = campaign_to_dict(sample_result())
+        assert data["label"] == "sample"
+        assert len(data["cycles"]) == 3
+        assert data["summary"]["faults"] == 3
+        assert data["cycles"][2]["data_failures"] == 2
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        save_campaign_json(sample_result(), path)
+        loaded = json.loads(path.read_text())
+        assert loaded["summary"]["fwa"] == 3
+
+    def test_csv_rows(self, tmp_path):
+        path = tmp_path / "cycles.csv"
+        assert save_campaign_csv(sample_result(), path) == 3
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 3
+        assert rows[1]["cycle"] == "1"
+        assert rows[1]["io_errors"] == "2"
+
+    def test_empty_campaign_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_campaign_csv(CampaignResult(label="x"), tmp_path / "x.csv")
+
+
+class TestSweepExport:
+    def test_sweep_csv(self, tmp_path):
+        sweep = {4: sample_result("4k"), 16: sample_result("16k")}
+        path = tmp_path / "sweep.csv"
+        assert save_sweep_csv(sweep, path, x_label="size_kib") == 2
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["size_kib"] == "4"
+        assert "loss_per_fault" in rows[0]
+
+    def test_empty_sweep_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_sweep_csv({}, tmp_path / "x.csv")
+
+
+class TestSeriesExport:
+    def test_waveform_columns(self, tmp_path):
+        path = tmp_path / "waveform.csv"
+        count = save_series_csv(
+            path, {"t_ms": [0, 1, 2], "volts": [5.0, 4.9, 4.5]}
+        )
+        assert count == 3
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "t_ms,volts"
+        assert lines[2] == "1,4.9"
+
+    def test_misaligned_columns_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_series_csv(tmp_path / "x.csv", {"a": [1], "b": [1, 2]})
+
+    def test_no_columns_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_series_csv(tmp_path / "x.csv", {})

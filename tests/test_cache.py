@@ -1,0 +1,148 @@
+"""Tests for the write cache, flush policy, and supercap model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import FlushPolicy, SupercapBackup, WriteCache
+from repro.errors import ConfigurationError
+from repro.units import MSEC
+
+
+class TestWriteCache:
+    def test_insert_and_dirty_count(self):
+        cache = WriteCache(capacity_pages=8)
+        assert cache.insert(1, token=10, now=0) is False
+        assert cache.dirty_count == 1
+        assert cache.dirty_bytes == 4096
+
+    def test_coalesce_on_same_lpn(self):
+        cache = WriteCache(capacity_pages=8)
+        cache.insert(1, token=10, now=0)
+        assert cache.insert(1, token=20, now=5) is True
+        assert cache.dirty_count == 1
+        assert cache.read_hit(1) == 20
+        assert cache.coalesces == 1
+        assert cache.peek(1).coalesce_depth == 1
+
+    def test_fifo_batch_order(self):
+        cache = WriteCache(capacity_pages=8)
+        for lpn in (5, 3, 9):
+            cache.insert(lpn, token=lpn * 10, now=0)
+        batch = cache.take_batch(2)
+        assert [e.lpn for e in batch] == [5, 3]
+        assert cache.dirty_count == 1
+
+    def test_take_batch_validation(self):
+        with pytest.raises(ConfigurationError):
+            WriteCache(8).take_batch(0)
+
+    def test_put_back_preserves_order_and_newer_wins(self):
+        cache = WriteCache(capacity_pages=8)
+        cache.insert(1, token=10, now=0)
+        cache.insert(2, token=20, now=0)
+        batch = cache.take_batch(2)
+        cache.insert(1, token=99, now=5)  # newer write while batch in flight
+        cache.put_back(batch)
+        assert cache.read_hit(1) == 99  # newer wins
+        assert cache.read_hit(2) == 20
+        # Put-back entries flush before the newer insert.
+        assert cache.take_batch(1)[0].lpn == 2
+
+    def test_read_hit_miss_statistics(self):
+        cache = WriteCache(capacity_pages=8)
+        cache.insert(1, token=10, now=0)
+        assert cache.read_hit(1) == 10
+        assert cache.read_hit(2) is None
+        assert cache.read_hits == 1
+        assert cache.read_misses == 1
+
+    def test_drop_all(self):
+        cache = WriteCache(capacity_pages=8)
+        cache.insert(1, token=10, now=0)
+        cache.insert(2, token=20, now=0)
+        lost = cache.drop_all()
+        assert len(lost) == 2
+        assert cache.dirty_count == 0
+
+    def test_oldest_age(self):
+        cache = WriteCache(capacity_pages=8)
+        assert cache.oldest_age_us(100) is None
+        cache.insert(1, token=10, now=100)
+        cache.insert(2, token=20, now=300)
+        assert cache.oldest_age_us(500) == 400
+
+    def test_has_space(self):
+        cache = WriteCache(capacity_pages=2)
+        assert cache.has_space(2)
+        cache.insert(1, token=1, now=0)
+        assert cache.has_space(1)
+        assert not cache.has_space(2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WriteCache(0)
+        with pytest.raises(ConfigurationError):
+            WriteCache(4).insert(-1, token=1, now=0)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 100)), max_size=60))
+    def test_property_last_write_wins(self, writes):
+        """The cache must always surface the latest token per LPN."""
+        cache = WriteCache(capacity_pages=1024)
+        latest = {}
+        for now, (lpn, token) in enumerate(writes):
+            cache.insert(lpn, token, now)
+            latest[lpn] = token
+        for lpn, token in latest.items():
+            assert cache.read_hit(lpn) == token
+        assert cache.dirty_count == len(latest)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=60))
+    def test_property_take_batch_drains_everything_once(self, lpns):
+        cache = WriteCache(capacity_pages=1024)
+        for now, lpn in enumerate(lpns):
+            cache.insert(lpn, token=now + 1, now=now)
+        seen = []
+        while cache.dirty_count:
+            seen.extend(e.lpn for e in cache.take_batch(7))
+        assert sorted(seen) == sorted(set(lpns))
+
+
+class TestFlushPolicy:
+    def test_throttle_boundary(self):
+        policy = FlushPolicy(batch_pages=8, max_dirty_pages=64)
+        assert not policy.throttled(56, 8)
+        assert policy.throttled(57, 8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FlushPolicy(batch_pages=0)
+        with pytest.raises(ConfigurationError):
+            FlushPolicy(linger_us=-1)
+        with pytest.raises(ConfigurationError):
+            FlushPolicy(batch_pages=64, max_dirty_pages=32)
+
+
+class TestSupercap:
+    def test_destage_time(self):
+        cap = SupercapBackup(hold_time_us=10 * MSEC)
+        assert cap.destage_time_us(32, page_write_us=1000, parallelism=8) == 4000
+        assert cap.destage_time_us(0, page_write_us=1000, parallelism=8) == 0
+
+    def test_can_destage(self):
+        cap = SupercapBackup(hold_time_us=10 * MSEC)
+        assert cap.can_destage(80, page_write_us=1000, parallelism=8)
+        assert not cap.can_destage(96, page_write_us=1000, parallelism=8)
+
+    def test_destageable_pages(self):
+        cap = SupercapBackup(hold_time_us=10 * MSEC)
+        assert cap.destageable_pages(page_write_us=1000, parallelism=8) == 80
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupercapBackup(hold_time_us=0)
+        cap = SupercapBackup()
+        with pytest.raises(ConfigurationError):
+            cap.destage_time_us(-1, 1000, 8)
+        with pytest.raises(ConfigurationError):
+            cap.destageable_pages(0, 8)

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_campaign_defaults(self):
+        args = build_parser().parse_args(["campaign"])
+        assert args.device == "ssd-a"
+        assert args.faults == 10
+        assert args.read_pct == 0
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            [
+                "campaign",
+                "--device",
+                "ssd-b",
+                "--faults",
+                "3",
+                "--sequence",
+                "WAW",
+                "--iops",
+                "5000",
+            ]
+        )
+        assert args.device == "ssd-b"
+        assert args.sequence == "WAW"
+        assert args.iops == 5000.0
+
+    def test_bad_sequence_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--sequence", "XAX"])
+
+    def test_discharge_load_flags(self):
+        assert build_parser().parse_args(["discharge"]).load is True
+        assert build_parser().parse_args(["discharge", "--no-load"]).load is False
+
+
+class TestCommands:
+    def test_list_devices(self, capsys):
+        assert main(["list-devices"]) == 0
+        out = capsys.readouterr().out
+        assert "ssd-a" in out
+        assert "ssd-b" in out
+        assert "LDPC" in out
+
+    def test_discharge_output(self, capsys):
+        assert main(["discharge", "--no-load", "--samples", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "unloaded" in out
+        assert "5.00" in out  # starts at nominal
+
+    def test_campaign_small(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--device",
+                "ssd-a",
+                "--faults",
+                "2",
+                "--wss-gib",
+                "4",
+                "--per-cycle",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign summary" in out
+        assert "loss_per_fault" in out
+
+    def test_post_ack_bad_intervals(self, capsys):
+        assert main(["post-ack", "--intervals", "abc"]) == 2
+        assert main(["post-ack", "--intervals", ""]) == 2
+
+    def test_smart_command(self, capsys):
+        assert main(["smart", "--device", "ssd-a", "--faults", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Unexpect_Power_Loss_Ct" in out
+        assert "Power_Cycle_Count" in out
+
+    def test_fleet_command(self, capsys):
+        assert main(["fleet", "--faults", "1", "--wss-gib", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "merged per model" in out
+        assert "ssd-a" in out and "ssd-b" in out and "ssd-c" in out
+
+    def test_replay_command(self, capsys, tmp_path):
+        from repro.workload.replay import TraceRecord, WorkloadTrace
+
+        trace = WorkloadTrace(
+            [TraceRecord(i * 1000, i * 8, 2, True) for i in range(10)]
+        )
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        assert main(["replay", str(path), "--device", "ssd-a"]) == 0
+        out = capsys.readouterr().out
+        assert "replay of t.jsonl" in out
+        assert "ACKed writes" in out
+
+    def test_replay_with_fault(self, capsys, tmp_path):
+        from repro.workload.replay import TraceRecord, WorkloadTrace
+
+        trace = WorkloadTrace(
+            [TraceRecord(i * 2000, i * 8, 1, True) for i in range(50)]
+        )
+        path = tmp_path / "t.jsonl"
+        trace.save(path)
+        assert main(["replay", str(path), "--fault-ms", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "fault injected" in out
+
+    def test_replay_missing_file(self, capsys):
+        assert main(["replay", "/nonexistent/trace.jsonl"]) == 2
+
+    def test_replay_blkparse_input(self, capsys, tmp_path):
+        path = tmp_path / "t.blkparse"
+        path.write_text(
+            "  8,0 0 1 0.001000000 1 Q W 2048 + 8 [x]\n"
+            "  8,0 0 2 0.002000000 1 Q W 4096 + 8 [x]\n"
+        )
+        assert main(["replay", str(path), "--blkparse"]) == 0
+
+    def test_replay_empty_trace(self, capsys, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["replay", str(path)]) == 2

@@ -1,0 +1,97 @@
+"""Tests for the bespoke experiment procedures (§IV-A sweep, Fig. 4 capture)."""
+
+import pytest
+
+from repro.core.experiment import (
+    EXPERIMENTS,
+    PostAckPoint,
+    amplified_firmware_config,
+    run_discharge_capture,
+    run_post_ack_sweep,
+)
+from repro.errors import CampaignError
+
+
+class TestPostAckPoint:
+    def test_loss_fraction(self):
+        point = PostAckPoint(interval_ms=100, acked_requests=40, lost_requests=10)
+        assert point.loss_fraction == 0.25
+
+    def test_zero_acked(self):
+        assert PostAckPoint(1, 0, 0).loss_fraction == 0.0
+
+
+class TestAmplifiedFirmware:
+    def test_amplifies_without_moving_the_window(self):
+        base_interval = amplified_firmware_config().ftl.journal_commit_interval_us
+        from repro.ssd.device import SsdConfig
+
+        assert base_interval == SsdConfig().ftl.journal_commit_interval_us
+        assert amplified_firmware_config().ftl.page_recovery_prob < 0.5
+
+
+class TestPostAckSweep:
+    def test_window_boundary(self):
+        # Inside the 700 ms window requests are at risk; beyond it they are
+        # durable.  (Amplified firmware; small trial counts keep this fast.)
+        points = run_post_ack_sweep(
+            intervals_ms=[100, 900],
+            cycles_per_point=2,
+            burst_requests=25,
+            seed=3,
+        )
+        inside, outside = points
+        assert inside.acked_requests >= 50
+        assert inside.lost_requests > 0
+        assert outside.lost_requests == 0
+
+    def test_empty_intervals_rejected(self):
+        with pytest.raises(CampaignError):
+            run_post_ack_sweep(intervals_ms=[])
+
+
+class TestDischargeCapture:
+    def test_unloaded_longer_than_loaded(self):
+        unloaded = run_discharge_capture(with_device=False, sample_interval_us=4000)
+        loaded = run_discharge_capture(with_device=True, sample_interval_us=4000)
+
+        def time_below(waveform, volts):
+            for t_ms, v in waveform:
+                if v < volts:
+                    return t_ms
+            return None
+
+        t_unloaded = time_below(unloaded, 0.06)
+        t_loaded = time_below(loaded, 0.06)
+        assert t_unloaded is not None and t_loaded is not None
+        assert t_loaded < t_unloaded
+        # Fig. 4 anchors, within sampling tolerance.
+        assert 1250 <= t_unloaded <= 1550
+        assert 800 <= t_loaded <= 1000
+
+    def test_loaded_detach_threshold_timing(self):
+        loaded = run_discharge_capture(with_device=True, sample_interval_us=1000)
+        crossing = next(t for t, v in loaded if v < 4.5)
+        assert 25 <= crossing <= 60
+
+
+class TestRegistry:
+    def test_every_experiment_has_bench(self):
+        import os
+
+        for exp_id, bench in EXPERIMENTS.items():
+            assert bench.startswith("benchmarks/"), exp_id
+
+    def test_expected_experiments_present(self):
+        for key in (
+            "fig4_psu_discharge",
+            "fig5_request_type",
+            "fig6_working_set_size",
+            "fig7_request_size",
+            "fig8_iops",
+            "fig9_access_sequence",
+            "table1_devices",
+            "sec4a_post_ack_window",
+            "sec4d_access_pattern",
+        ):
+            assert key in EXPERIMENTS

@@ -1,0 +1,92 @@
+"""Tests for the multi-device fleet helper."""
+
+import pytest
+
+from repro.core.fleet import merge_by_model, rank_by_loss, run_fleet
+from repro.core.results import CampaignResult, FaultCycleResult
+from repro.errors import CampaignError
+from repro.ssd.device import SsdConfig
+from repro.units import GIB, MSEC
+from repro.workload.spec import WorkloadSpec
+
+
+def small_config(name):
+    return SsdConfig(name=name, capacity_bytes=2 * GIB, init_time_us=50 * MSEC)
+
+
+def fake_result(label, df=1, fwa=0):
+    result = CampaignResult(label=label)
+    result.add_cycle(
+        FaultCycleResult(
+            cycle_index=0,
+            fault_time_us=0,
+            requests_completed=10,
+            writes_completed=10,
+            reads_completed=0,
+            data_failures=df,
+            fwa_failures=fwa,
+            io_errors=1,
+        )
+    )
+    return result
+
+
+class TestRunFleet:
+    def test_runs_each_device(self):
+        spec = WorkloadSpec(wss_bytes=1 * GIB, outstanding=8)
+        configs = {
+            "dev-a": small_config("dev-a"),
+            "dev-b": small_config("dev-b"),
+        }
+        seen = []
+        results = run_fleet(
+            configs, spec, faults=2, base_seed=7, progress=lambda n, r: seen.append(n)
+        )
+        assert sorted(results) == ["dev-a", "dev-b"]
+        assert seen == ["dev-a", "dev-b"]
+        for result in results.values():
+            assert result.faults == 2
+
+    def test_disjoint_seeds_give_different_traffic(self):
+        spec = WorkloadSpec(wss_bytes=1 * GIB, outstanding=8)
+        configs = {
+            "dev-a": small_config("dev-a"),
+            "dev-b": small_config("dev-a"),  # identical hardware
+        }
+        results = run_fleet(configs, spec, faults=2, base_seed=3)
+        assert (
+            results["dev-a"].requests_completed != results["dev-b"].requests_completed
+        )
+
+    def test_validation(self):
+        spec = WorkloadSpec(wss_bytes=1 * GIB)
+        with pytest.raises(CampaignError):
+            run_fleet({}, spec, faults=2)
+        with pytest.raises(CampaignError):
+            run_fleet({"x": small_config("x")}, spec, faults=0)
+
+
+class TestMergeAndRank:
+    def test_merge_units_into_models(self):
+        results = {
+            "ssd-a#1": fake_result("ssd-a#1", df=1),
+            "ssd-a#2": fake_result("ssd-a#2", df=3),
+            "ssd-b#1": fake_result("ssd-b#1", df=2),
+        }
+        merged = merge_by_model(results)
+        assert sorted(merged) == ["ssd-a", "ssd-b"]
+        assert merged["ssd-a"].faults == 2
+        assert merged["ssd-a"].data_failures == 4
+        assert merged["ssd-b"].data_failures == 2
+
+    def test_plain_keys_pass_through(self):
+        merged = merge_by_model({"solo": fake_result("solo")})
+        assert merged["solo"].data_failures == 1
+
+    def test_rank_by_loss(self):
+        results = {
+            "low": fake_result("low", df=1),
+            "high": fake_result("high", df=9),
+            "mid": fake_result("mid", df=4),
+        }
+        assert rank_by_loss(results) == ["high", "mid", "low"]

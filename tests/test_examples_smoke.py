@@ -1,0 +1,32 @@
+"""Smoke test: the quickstart example must run end-to-end.
+
+The remaining examples run multi-minute campaigns and are exercised by the
+bench suite's machinery instead; quickstart is the one a new user tries
+first, so it gets a hard gate in CI.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_quickstart_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "data loss per power fault" in result.stdout
+        assert "per-fault results" in result.stdout
+
+    def test_all_examples_compile(self):
+        for script in sorted(EXAMPLES.glob("*.py")):
+            source = script.read_text()
+            compile(source, str(script), "exec")
+            assert '"""' in source, f"{script.name} needs a docstring"
+            assert "def main()" in source, f"{script.name} needs a main()"

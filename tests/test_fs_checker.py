@@ -1,0 +1,100 @@
+"""Unit tests for the filesystem crash-consistency audit."""
+
+import pytest
+
+from repro.fs.checker import (
+    FileVerdict,
+    FsAudit,
+    FsExpectation,
+    audit_filesystem,
+)
+from repro.fs.filesystem import FileNotFound, FsCorruption
+
+
+class _FakeFs:
+    """Minimal FileSystem stand-in for verdict-path unit tests."""
+
+    def __init__(self, contents=None, corrupt=(), missing=()):
+        self.contents = contents or {}
+        self.corrupt = set(corrupt)
+        self.missing = set(missing)
+
+    def read_file(self, name):
+        if name in self.missing:
+            raise FileNotFound(name)
+        if name in self.corrupt:
+            raise FsCorruption(name)
+        return self.contents[name]
+
+
+def expectation(name, latest=b"v2", synced=None):
+    expect = FsExpectation(name)
+    expect.note_write(latest)
+    if synced is not None:
+        expect.latest_content = synced
+        expect.note_sync()
+        expect.note_write(latest)
+    return expect
+
+
+class TestExpectation:
+    def test_note_sync_captures_latest(self):
+        expect = FsExpectation("f")
+        expect.note_write(b"a")
+        expect.note_sync()
+        expect.note_write(b"b")
+        assert expect.synced_content == b"a"
+        assert expect.latest_content == b"b"
+
+
+class TestVerdicts:
+    def test_intact_latest(self):
+        fs = _FakeFs({"f": b"v2"})
+        audit = audit_filesystem(fs, [expectation("f")])
+        assert audit.verdicts["f"] is FileVerdict.INTACT
+
+    def test_intact_synced_version(self):
+        fs = _FakeFs({"f": b"v1"})
+        audit = audit_filesystem(fs, [expectation("f", latest=b"v2", synced=b"v1")])
+        assert audit.verdicts["f"] is FileVerdict.INTACT
+
+    def test_rolled_back_unsynced(self):
+        fs = _FakeFs({"f": b"old"})
+        audit = audit_filesystem(fs, [expectation("f", latest=b"new")])
+        assert audit.verdicts["f"] is FileVerdict.ROLLED_BACK
+        assert audit.clean
+
+    def test_lost_synced(self):
+        fs = _FakeFs({"f": b"ancient"})
+        audit = audit_filesystem(fs, [expectation("f", latest=b"v2", synced=b"v1")])
+        assert audit.verdicts["f"] is FileVerdict.LOST_SYNCED
+        assert audit.durability_violations == 1
+        assert not audit.clean
+        assert audit.details
+
+    def test_missing_synced_file(self):
+        fs = _FakeFs(missing={"f"})
+        audit = audit_filesystem(fs, [expectation("f", synced=b"v1")])
+        assert audit.verdicts["f"] is FileVerdict.MISSING
+        assert audit.durability_violations == 1
+
+    def test_missing_unsynced_is_rollback(self):
+        fs = _FakeFs(missing={"f"})
+        audit = audit_filesystem(fs, [expectation("f")])
+        assert audit.verdicts["f"] is FileVerdict.ROLLED_BACK
+
+    def test_corrupt(self):
+        fs = _FakeFs(corrupt={"f"})
+        audit = audit_filesystem(fs, [expectation("f")])
+        assert audit.verdicts["f"] is FileVerdict.CORRUPT
+        assert not audit.clean
+
+    def test_counts(self):
+        fs = _FakeFs({"a": b"v2", "b": b"x"}, corrupt={"c"})
+        audit = audit_filesystem(
+            fs,
+            [expectation("a"), expectation("b", latest=b"y"), expectation("c")],
+        )
+        assert audit.count(FileVerdict.INTACT) == 1
+        assert audit.count(FileVerdict.ROLLED_BACK) == 1
+        assert audit.count(FileVerdict.CORRUPT) == 1

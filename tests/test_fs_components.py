@@ -1,0 +1,163 @@
+"""Unit tests for filesystem components: CAS, inodes, journal encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fs import ContentStore, Inode, TxRecord, decode_transactions
+from repro.fs.inode import decode_directory, encode_directory
+from repro.fs.journal import Transaction, TxKind, validate_region
+
+
+class TestContentStore:
+    def test_roundtrip(self):
+        cas = ContentStore()
+        token = cas.address_of(b"hello")
+        assert cas.bytes_for(token) == b"hello"
+        assert cas.knows(token)
+
+    def test_same_content_same_token(self):
+        cas = ContentStore()
+        assert cas.address_of(b"x") == cas.address_of(b"x")
+        assert len(cas) == 1
+
+    def test_unknown_token_is_none(self):
+        cas = ContentStore()
+        assert cas.bytes_for(12345) is None
+        assert cas.bytes_for(None) is None
+        assert cas.misses == 2
+
+    def test_tokens_have_fs_bit(self):
+        from repro.fs.cas import FS_TOKEN_BIT
+
+        cas = ContentStore()
+        assert cas.address_of(b"data") & FS_TOKEN_BIT
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContentStore().address_of("text")  # type: ignore[arg-type]
+
+    @given(st.lists(st.binary(max_size=64), max_size=40))
+    def test_property_all_payloads_recoverable(self, payloads):
+        cas = ContentStore()
+        tokens = [cas.address_of(p) for p in payloads]
+        for token, payload in zip(tokens, payloads):
+            assert cas.bytes_for(token) == payload
+
+
+class TestInode:
+    def test_encode_decode_roundtrip(self):
+        inode = Inode(number=3, size_bytes=5000, extents=[(100, 2)], mtime_us=42)
+        clone = Inode.decode(inode.encode())
+        assert clone == inode
+
+    def test_blocks_flattening(self):
+        inode = Inode(number=1, extents=[(10, 2), (20, 1)])
+        assert inode.blocks() == [10, 11, 20]
+        assert inode.block_count == 3
+
+    def test_append_extent_merges_adjacent(self):
+        inode = Inode(number=1)
+        inode.append_extent(10, 2)
+        inode.append_extent(12, 3)
+        assert inode.extents == [(10, 5)]
+        inode.append_extent(20, 1)
+        assert inode.extents == [(10, 5), (20, 1)]
+
+    def test_block_for_offset(self):
+        inode = Inode(number=1, size_bytes=3 * 4096, extents=[(10, 2), (20, 1)])
+        assert inode.block_for_offset(0) == 10
+        assert inode.block_for_offset(4096) == 11
+        assert inode.block_for_offset(2 * 4096) == 20
+        with pytest.raises(ConfigurationError):
+            inode.block_for_offset(3 * 4096)
+
+    def test_bad_extent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Inode(number=1).append_extent(5, 0)
+
+    def test_corrupt_encoding_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Inode.decode(b"\xff\x00 junk")
+
+    def test_clone_is_deep(self):
+        inode = Inode(number=1, extents=[(5, 1)])
+        clone = inode.clone()
+        clone.append_extent(6, 1)
+        assert inode.extents == [(5, 1)]
+
+
+class TestDirectoryEncoding:
+    def test_roundtrip(self):
+        entries = {"a.txt": 1, "b.txt": 2}
+        assert decode_directory(encode_directory(entries)) == entries
+
+    def test_corrupt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            decode_directory(b"[1,2,3]")
+        with pytest.raises(ConfigurationError):
+            decode_directory(b"\xff")
+
+
+def txn_pages(txid, payload_count=1, commit=True):
+    pages = [TxRecord(TxKind.BEGIN, txid).encode()]
+    for index in range(payload_count):
+        pages.append(TxRecord(TxKind.INODE, txid, {"inode": f"{txid}:{index}"}).encode())
+    if commit:
+        pages.append(TxRecord(TxKind.COMMIT, txid).encode())
+    return pages
+
+
+class TestJournalDecode:
+    def test_committed_transaction_decodes(self):
+        committed, discarded = decode_transactions(txn_pages(1))
+        assert len(committed) == 1
+        assert discarded == 0
+        assert committed[0].txid == 1
+        assert len(committed[0].payload_records) == 1
+
+    def test_torn_transaction_discarded(self):
+        committed, discarded = decode_transactions(txn_pages(1, commit=False))
+        assert committed == []
+        assert discarded == 1
+
+    def test_unreadable_payload_page_discards_txn(self):
+        pages = txn_pages(1, payload_count=2)
+        pages[1] = None  # FWA'd / corrupt journal page
+        committed, discarded = decode_transactions(pages)
+        assert committed == []
+        assert discarded == 1
+
+    def test_multiple_transactions_in_order(self):
+        pages = txn_pages(1) + txn_pages(2)
+        committed, discarded = decode_transactions(pages)
+        assert [t.txid for t in committed] == [1, 2]
+
+    def test_stale_records_from_earlier_lap_ignored(self):
+        # New txn 5 at region head, stale txn 2 tail afterwards.
+        pages = txn_pages(5) + txn_pages(2)
+        committed, _ = decode_transactions(pages)
+        assert sorted(t.txid for t in committed) == [2, 5]
+
+    def test_begin_without_commit_followed_by_new_begin(self):
+        pages = txn_pages(1, commit=False) + txn_pages(2)
+        committed, discarded = decode_transactions(pages)
+        assert [t.txid for t in committed] == [2]
+        assert discarded == 1
+
+    def test_garbage_pages_skipped(self):
+        pages = [b"garbage", None] + txn_pages(3)
+        committed, discarded = decode_transactions(pages)
+        assert [t.txid for t in committed] == [3]
+        assert discarded == 0
+
+    def test_record_decode_robustness(self):
+        assert TxRecord.decode(None) is None
+        assert TxRecord.decode(b"not json") is None
+        assert TxRecord.decode(b'{"k":"nope","tx":1,"p":{}}') is None
+
+    def test_validate_region(self):
+        with pytest.raises(ConfigurationError):
+            validate_region(4)
+        validate_region(8)

@@ -1,0 +1,193 @@
+"""Tests for cell pairing, timing tables, ECC budgets, and corruption model."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.nand import CellKind, CorruptionModel, EccScheme, NandTiming
+
+
+class TestCellKind:
+    def test_bits_per_cell(self):
+        assert CellKind.SLC.bits_per_cell == 1
+        assert CellKind.MLC.bits_per_cell == 2
+        assert CellKind.TLC.bits_per_cell == 3
+
+    def test_mlc_pairing(self):
+        assert CellKind.MLC.earlier_siblings(0) == []
+        assert CellKind.MLC.earlier_siblings(1) == [0]
+        assert CellKind.MLC.earlier_siblings(7) == [6]
+
+    def test_tlc_pairing(self):
+        assert CellKind.TLC.earlier_siblings(9) == []
+        assert CellKind.TLC.earlier_siblings(10) == [9]
+        assert CellKind.TLC.earlier_siblings(11) == [9, 10]
+
+    def test_slc_never_vulnerable(self):
+        assert all(not CellKind.SLC.is_vulnerable_program(p) for p in range(32))
+
+    def test_roles(self):
+        assert CellKind.MLC.role_of(4) == "lower"
+        assert CellKind.MLC.role_of(5) == "upper"
+        assert CellKind.TLC.role_of(5) == "extra"
+
+    def test_wordline_of(self):
+        assert CellKind.MLC.wordline_of(7) == 3
+        assert CellKind.TLC.wordline_of(7) == 2
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CellKind.MLC.earlier_siblings(-1)
+
+    @given(st.sampled_from(list(CellKind)), st.integers(0, 2048))
+    def test_siblings_are_earlier_and_same_wordline(self, cell, page):
+        for sib in cell.earlier_siblings(page):
+            assert sib < page
+            assert cell.wordline_of(sib) == cell.wordline_of(page)
+
+    def test_slowdown_ordering(self):
+        assert (
+            CellKind.SLC.program_slowdown
+            < CellKind.MLC.program_slowdown
+            < CellKind.TLC.program_slowdown
+        )
+
+
+class TestNandTiming:
+    def test_program_scales_with_cell(self):
+        t = NandTiming()
+        assert t.program_us(CellKind.MLC) > t.program_us(CellKind.SLC)
+        assert t.program_us(CellKind.TLC) > t.program_us(CellKind.MLC)
+
+    def test_mlc_program_order_of_milliseconds(self):
+        # Typical MLC tPROG ~1.3 ms; we require the right order of magnitude.
+        t = NandTiming().program_us(CellKind.MLC)
+        assert 800 <= t <= 2_500
+
+    def test_transfer_time(self):
+        t = NandTiming(bus_mbps=400)
+        assert t.transfer_us(400 * 1024 * 1024) == pytest.approx(1_000_000, rel=0.01)
+        assert t.transfer_us(0) == 0
+
+    def test_negative_transfer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NandTiming().transfer_us(-1)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ConfigurationError):
+            NandTiming(read_us=0)
+
+    def test_page_write_exceeds_program(self):
+        t = NandTiming()
+        assert t.page_write_us(CellKind.MLC, 4096) > t.program_us(CellKind.MLC)
+
+
+class TestEccScheme:
+    def test_budget_boundary(self):
+        scheme = EccScheme("X", 10)
+        assert scheme.can_correct(10)
+        assert not scheme.can_correct(11)
+
+    def test_ldpc_stronger_than_bch(self):
+        assert (
+            EccScheme.ldpc().correctable_bits_per_page
+            > EccScheme.bch().correctable_bits_per_page
+        )
+
+    def test_margin(self):
+        assert EccScheme("X", 10).margin(4) == 6
+        assert EccScheme("X", 10).margin(15) == -5
+
+    def test_none_scheme(self):
+        assert not EccScheme.none().can_correct(1)
+        assert EccScheme.none().can_correct(0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EccScheme("X", -1)
+        with pytest.raises(ConfigurationError):
+            EccScheme("", 10)
+        with pytest.raises(ConfigurationError):
+            EccScheme("X", 10).can_correct(-1)
+
+
+class TestCorruptionModel:
+    def setup_method(self):
+        self.model = CorruptionModel()
+        self.rng = random.Random(7)
+
+    def test_nearly_complete_program_survives(self):
+        assert not self.model.interrupted_program_corrupts(self.rng, 0.99)
+
+    def test_early_interrupt_usually_corrupts(self):
+        hits = sum(
+            self.model.interrupted_program_corrupts(self.rng, 0.3) for _ in range(1000)
+        )
+        assert 780 <= hits <= 920  # ~0.85
+
+    def test_progress_validated(self):
+        with pytest.raises(ConfigurationError):
+            self.model.interrupted_program_corrupts(self.rng, 1.5)
+
+    def test_sag_fraction_window(self):
+        assert self.model.sag_fraction(5.0) == 0.0
+        assert self.model.sag_fraction(4.75) == 0.0
+        assert self.model.sag_fraction(3.0) == 1.0
+        assert 0.0 < self.model.sag_fraction(4.0) < 1.0
+
+    def test_quality_complements_sag(self):
+        for volts in (5.0, 4.5, 3.5, 3.0):
+            assert self.model.program_quality(volts) == pytest.approx(
+                1.0 - self.model.sag_fraction(volts)
+            )
+
+    def test_nominal_error_bits_small(self):
+        draws = [
+            self.model.sample_error_bits(self.rng, CellKind.MLC, 1.0)
+            for _ in range(500)
+        ]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(8.0, rel=0.25)
+        assert all(d >= 0 for d in draws)
+
+    def test_marginal_error_bits_explode(self):
+        nominal = [
+            self.model.sample_error_bits(self.rng, CellKind.MLC, 1.0)
+            for _ in range(200)
+        ]
+        marginal = [
+            self.model.sample_error_bits(self.rng, CellKind.MLC, 0.0)
+            for _ in range(200)
+        ]
+        assert sum(marginal) / len(marginal) > 10 * (sum(nominal) / len(nominal))
+
+    def test_tlc_noisier_than_mlc(self):
+        mlc = sum(
+            self.model.sample_error_bits(self.rng, CellKind.MLC, 1.0)
+            for _ in range(500)
+        )
+        tlc = sum(
+            self.model.sample_error_bits(self.rng, CellKind.TLC, 1.0)
+            for _ in range(500)
+        )
+        assert tlc > 2 * mlc
+
+    def test_collateral_rate(self):
+        hits = 0
+        for _ in range(2000):
+            hits += len(self.model.collateral_pages(self.rng, CellKind.MLC, 7))
+        assert 0.28 < hits / 2000 < 0.43  # one earlier sibling at p=0.35
+
+    def test_collateral_empty_for_lower_page(self):
+        assert self.model.collateral_pages(self.rng, CellKind.MLC, 6) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CorruptionModel(interrupt_corrupt_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            CorruptionModel(brownout_volts=5.0)
+        with pytest.raises(ConfigurationError):
+            CorruptionModel(marginal_error_multiplier=0.5)

@@ -1,0 +1,141 @@
+"""Tests for the threshold-voltage distribution model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nand.cell import CellKind
+from repro.nand.corruption import CorruptionModel
+from repro.nand.threshold import CellLevelModel, LevelState, _gaussian_tail
+
+
+class TestGaussianTail:
+    def test_symmetry_at_mean(self):
+        assert _gaussian_tail(0.0, 1.0, 0.0, upper=True) == pytest.approx(0.5)
+        assert _gaussian_tail(0.0, 1.0, 0.0, upper=False) == pytest.approx(0.5)
+
+    def test_three_sigma(self):
+        assert _gaussian_tail(0.0, 1.0, 3.0, upper=True) == pytest.approx(
+            0.00135, rel=0.05
+        )
+
+    def test_tails_sum_to_one(self):
+        up = _gaussian_tail(1.0, 0.5, 1.7, upper=True)
+        down = _gaussian_tail(1.0, 0.5, 1.7, upper=False)
+        assert up + down == pytest.approx(1.0)
+
+    def test_bad_sigma(self):
+        with pytest.raises(ConfigurationError):
+            _gaussian_tail(0, 0, 0, True)
+
+
+class TestLevelLayout:
+    def test_level_counts(self):
+        assert len(CellLevelModel(CellKind.SLC).levels) == 2
+        assert len(CellLevelModel(CellKind.MLC).levels) == 4
+        assert len(CellLevelModel(CellKind.TLC).levels) == 8
+
+    def test_levels_ordered_by_voltage(self):
+        for kind in CellKind:
+            means = [lvl.mean_v for lvl in CellLevelModel(kind).levels]
+            assert means == sorted(means)
+
+    def test_quality_validated(self):
+        with pytest.raises(ConfigurationError):
+            CellLevelModel(CellKind.MLC, quality=1.5)
+
+    def test_references_between_levels(self):
+        model = CellLevelModel(CellKind.MLC)
+        refs = model.nominal_references()
+        assert len(refs) == 3
+        for ref, below, above in zip(refs, model.levels, model.levels[1:]):
+            assert below.mean_v < ref < above.mean_v
+
+
+class TestErrorRates:
+    def test_nominal_rates_match_budget_model(self):
+        """The closed-form physics must land near the calibrated error-bit
+        means the campaign model draws from (base 2 bits x cell scale)."""
+        corruption = CorruptionModel()
+        for kind in CellKind:
+            physics = CellLevelModel(kind).expected_page_error_bits()
+            calibrated = corruption.base_error_bits * kind.raw_bit_error_scale
+            assert physics == pytest.approx(calibrated, rel=0.6), kind
+
+    def test_more_levels_more_errors(self):
+        slc = CellLevelModel(CellKind.SLC).expected_page_error_bits()
+        mlc = CellLevelModel(CellKind.MLC).expected_page_error_bits()
+        tlc = CellLevelModel(CellKind.TLC).expected_page_error_bits()
+        assert slc < mlc < tlc
+
+    def test_marginal_program_explodes_error_rate(self):
+        for kind in CellKind:
+            nominal = CellLevelModel(kind).expected_page_error_bits()
+            weak = CellLevelModel(kind, quality=0.2).expected_page_error_bits()
+            assert weak > 50 * max(nominal, 0.5), kind
+
+    def test_quality_monotone(self):
+        rates = [
+            CellLevelModel(CellKind.MLC, quality=q).expected_page_error_bits()
+            for q in (1.0, 0.8, 0.5, 0.2, 0.0)
+        ]
+        assert all(a <= b for a, b in zip(rates, rates[1:]))
+
+    def test_reference_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            CellLevelModel(CellKind.MLC).misread_probability([1.0])
+
+
+class TestReadRetry:
+    def test_retry_recovers_marginal_pages(self):
+        weak = CellLevelModel(CellKind.MLC, quality=0.3)
+        factory = weak.expected_page_error_bits()
+        retried = weak.expected_page_error_bits(weak.optimal_references())
+        assert retried < factory / 2
+
+    def test_retry_is_noop_for_healthy_cells(self):
+        healthy = CellLevelModel(CellKind.MLC)
+        factory = healthy.expected_page_error_bits()
+        retried = healthy.expected_page_error_bits(healthy.optimal_references())
+        assert retried == pytest.approx(factory, rel=0.5)
+
+
+class TestDegradation:
+    def test_retention_drifts_down_and_errors_grow(self):
+        model = CellLevelModel(CellKind.TLC)
+        aged = model.after_retention(2000.0)
+        assert aged.levels[-1].mean_v < model.levels[-1].mean_v
+        assert aged.expected_page_error_bits() > model.expected_page_error_bits()
+
+    def test_retention_hits_weak_pages_harder(self):
+        healthy_growth = (
+            CellLevelModel(CellKind.MLC).after_retention(500).expected_page_error_bits()
+            - CellLevelModel(CellKind.MLC).expected_page_error_bits()
+        )
+        weak = CellLevelModel(CellKind.MLC, quality=0.4)
+        weak_growth = (
+            weak.after_retention(500).expected_page_error_bits()
+            - weak.expected_page_error_bits()
+        )
+        assert weak_growth > healthy_growth
+
+    def test_read_disturb_raises_erased_level(self):
+        model = CellLevelModel(CellKind.MLC)
+        disturbed = model.after_read_disturb(500_000)
+        assert disturbed.levels[0].mean_v > model.levels[0].mean_v
+        assert (
+            disturbed.expected_page_error_bits() > model.expected_page_error_bits()
+        )
+
+    def test_degradation_validation(self):
+        model = CellLevelModel(CellKind.MLC)
+        with pytest.raises(ConfigurationError):
+            model.after_retention(-1)
+        with pytest.raises(ConfigurationError):
+            model.after_read_disturb(-1)
+
+    def test_retry_rescues_retention_loss(self):
+        # The references re-centre onto the drifted distributions.
+        aged = CellLevelModel(CellKind.TLC).after_retention(3000.0)
+        factory = aged.expected_page_error_bits()
+        retried = aged.expected_page_error_bits(aged.optimal_references())
+        assert retried < factory

@@ -1,0 +1,225 @@
+"""Tests for the ATX PSU model — including the paper's Fig. 4 waveform targets."""
+
+import pytest
+
+from repro.errors import PowerError
+from repro.power import AtxPsu, DischargeProfile, InstantCutoffPsu, PsuState
+from repro.sim import Kernel
+from repro.units import MSEC, SSD_DETACH_VOLTAGE
+
+
+class FixedLoad:
+    def __init__(self, amps):
+        self.amps = amps
+
+    def current_draw_amps(self):
+        return self.amps
+
+
+def powered_psu(kernel, psu_cls=AtxPsu, load_amps=None):
+    psu = psu_cls(kernel)
+    if load_amps is not None:
+        psu.attach_load(FixedLoad(load_amps))
+    psu.mains_on()
+    psu.set_ps_on(True)
+    kernel.run()
+    return psu
+
+
+class TestDischargeProfile:
+    def test_unloaded_full_discharge_near_1400ms(self):
+        # Paper Fig. 4a: "the PSU purely discharges within 1400ms".
+        profile = DischargeProfile.for_load(0.0)
+        t = profile.time_to_reach(0.05)
+        assert 1300 * MSEC <= t <= 1500 * MSEC
+
+    def test_loaded_full_discharge_near_900ms(self):
+        # Paper Fig. 4b: "the discharge phase ... takes about 900ms".
+        profile = DischargeProfile.for_load(1.0)
+        t = profile.time_to_reach(0.05)
+        assert 820 * MSEC <= t <= 980 * MSEC
+
+    def test_loaded_detach_threshold_near_40ms(self):
+        # Paper Fig. 4b: the SSD becomes unavailable at 4.5 V after ~40 ms.
+        profile = DischargeProfile.for_load(1.0)
+        t = profile.time_to_reach(SSD_DETACH_VOLTAGE)
+        assert 30 * MSEC <= t <= 50 * MSEC
+
+    def test_voltage_monotone_decreasing(self):
+        profile = DischargeProfile.for_load(1.0)
+        samples = [profile.voltage_at(t * MSEC) for t in range(0, 1000, 10)]
+        assert all(a >= b for a, b in zip(samples, samples[1:]))
+        assert samples[0] == pytest.approx(5.0)
+
+    def test_voltage_time_inverse_consistency(self):
+        profile = DischargeProfile.for_load(0.5)
+        for volts in (4.9, 4.5, 3.0, 1.0, 0.1):
+            t = profile.time_to_reach(volts)
+            assert profile.voltage_at(t) == pytest.approx(volts, abs=0.02)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PowerError):
+            DischargeProfile.for_load(-0.1)
+
+    def test_zero_volts_unreachable(self):
+        with pytest.raises(PowerError):
+            DischargeProfile.for_load(1.0).time_to_reach(0.0)
+
+
+class TestPsuStateMachine:
+    def test_initially_mains_off(self):
+        psu = AtxPsu(Kernel())
+        assert psu.state is PsuState.MAINS_OFF
+        assert psu.voltage() == 0.0
+
+    def test_ps_on_without_mains_raises(self):
+        psu = AtxPsu(Kernel())
+        with pytest.raises(PowerError):
+            psu.set_ps_on(True)
+
+    def test_power_on_reaches_nominal(self):
+        k = Kernel()
+        psu = powered_psu(k)
+        assert psu.state is PsuState.ON
+        assert psu.voltage() == 5.0
+
+    def test_charge_ramp_takes_time(self):
+        k = Kernel()
+        psu = AtxPsu(k)
+        psu.mains_on()
+        psu.set_ps_on(True)
+        assert psu.state is PsuState.CHARGING
+        k.run(until=AtxPsu.CHARGE_RAMP_US // 2)
+        assert 0.0 < psu.voltage() < 5.0
+
+    def test_discharge_reaches_standby(self):
+        k = Kernel()
+        psu = powered_psu(k, load_amps=1.0)
+        psu.set_ps_on(False)
+        assert psu.state is PsuState.DISCHARGING
+        k.run()
+        assert psu.state is PsuState.STANDBY
+        assert psu.voltage() == 0.0
+
+    def test_mains_off_while_on_discharges(self):
+        k = Kernel()
+        psu = powered_psu(k)
+        psu.mains_off()
+        assert psu.state is PsuState.MAINS_OFF
+        assert psu.discharge_count == 1
+
+    def test_discharge_count_tracks_episodes(self):
+        k = Kernel()
+        psu = powered_psu(k)
+        psu.set_ps_on(False)
+        k.run()
+        psu.set_ps_on(True)
+        k.run()
+        psu.set_ps_on(False)
+        k.run()
+        assert psu.discharge_count == 2
+        assert psu.power_on_count == 2
+
+
+class TestThresholdWatchers:
+    def test_falling_threshold_fires_at_right_time(self):
+        k = Kernel()
+        psu = powered_psu(k, load_amps=1.0)
+        hits = []
+        psu.watch_threshold(SSD_DETACH_VOLTAGE, lambda v: hits.append((k.now, v)))
+        start = k.now
+        psu.set_ps_on(False)
+        k.run()
+        assert len(hits) == 1
+        elapsed = hits[0][0] - start
+        assert 30 * MSEC <= elapsed <= 50 * MSEC
+
+    def test_rising_threshold_fires_on_charge(self):
+        k = Kernel()
+        psu = powered_psu(k, load_amps=1.0)
+        rises = []
+        psu.watch_threshold(4.5, lambda v: None, on_rising=lambda v: rises.append(k.now))
+        psu.set_ps_on(False)
+        k.run()
+        psu.set_ps_on(True)
+        k.run()
+        assert len(rises) == 1
+
+    def test_recharge_cancels_pending_falling_events(self):
+        k = Kernel()
+        psu = powered_psu(k, load_amps=1.0)
+        hits = []
+        psu.watch_threshold(1.0, lambda v: hits.append(k.now))
+        psu.set_ps_on(False)
+        k.run(until=k.now + 10 * MSEC)  # restore power before 1.0 V reached
+        psu.set_ps_on(True)
+        k.run()
+        assert hits == []
+
+    def test_threshold_bounds_validated(self):
+        psu = AtxPsu(Kernel())
+        with pytest.raises(PowerError):
+            psu.watch_threshold(5.0, lambda v: None)
+        with pytest.raises(PowerError):
+            psu.watch_threshold(0.0, lambda v: None)
+
+    def test_load_changes_crossing_time(self):
+        k1 = Kernel()
+        light = powered_psu(k1)
+        t_light = []
+        light.watch_threshold(4.5, lambda v: t_light.append(k1.now - start_l))
+        start_l = k1.now
+        light.set_ps_on(False)
+        k1.run()
+
+        k2 = Kernel()
+        heavy = powered_psu(k2, load_amps=2.0)
+        t_heavy = []
+        heavy.watch_threshold(4.5, lambda v: t_heavy.append(k2.now - start_h))
+        start_h = k2.now
+        heavy.set_ps_on(False)
+        k2.run()
+        assert t_heavy[0] < t_light[0]
+
+
+class TestInstantCutoffBaseline:
+    def test_cutoff_is_orders_of_magnitude_faster(self):
+        k = Kernel()
+        psu = powered_psu(k, psu_cls=InstantCutoffPsu, load_amps=1.0)
+        hits = []
+        psu.watch_threshold(SSD_DETACH_VOLTAGE, lambda v: hits.append(k.now))
+        start = k.now
+        psu.set_ps_on(False)
+        k.run()
+        elapsed = hits[0] - start
+        # "the reported delay is in micro seconds order" (§III-A2)
+        assert elapsed < 1 * MSEC
+
+
+class TestDischargeProfileProperties:
+    """Hypothesis checks over the waveform's analytic invariants."""
+
+    from hypothesis import given as _given
+    from hypothesis import strategies as _st
+
+    @_given(_st.floats(0.0, 5.0), _st.integers(0, 2_000_000))
+    def test_voltage_bounded_and_finite(self, load_amps, t_us):
+        profile = DischargeProfile.for_load(load_amps)
+        volts = profile.voltage_at(t_us)
+        assert 0.0 <= volts <= 5.0
+
+    @_given(_st.floats(0.0, 5.0))
+    def test_heavier_load_discharges_no_slower(self, load_amps):
+        lighter = DischargeProfile.for_load(load_amps)
+        heavier = DischargeProfile.for_load(load_amps + 0.5)
+        for volts in (4.5, 3.0, 1.0, 0.1):
+            assert heavier.time_to_reach(volts) <= lighter.time_to_reach(volts)
+
+    @_given(
+        _st.floats(0.0, 4.0),
+        _st.floats(0.05, 4.99),
+    )
+    def test_time_voltage_inverse(self, load_amps, volts):
+        profile = DischargeProfile.for_load(load_amps)
+        t = profile.time_to_reach(volts)
+        assert profile.voltage_at(t) == pytest.approx(volts, abs=0.05)

@@ -1,0 +1,82 @@
+"""Tests for seeded random-stream management."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rand import RandomStreams, exponential_interarrival, uniform_int
+
+
+class TestRandomStreams:
+    def test_same_name_same_object(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_streams_reproducible_across_instances(self):
+        first = RandomStreams(42).stream("workload").random()
+        second = RandomStreams(42).stream("workload").random()
+        assert first == second
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(42)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_creation_order_does_not_matter(self):
+        one = RandomStreams(7)
+        one.stream("x")
+        x_then_y = one.stream("y").random()
+        two = RandomStreams(7)
+        y_only = two.stream("y").random()
+        assert x_then_y == y_only
+
+    def test_fork_derives_independent_tree(self):
+        root = RandomStreams(9)
+        forked = root.fork("device0")
+        assert forked.stream("nand").random() != root.stream("nand").random()
+
+    def test_fork_reproducible(self):
+        a = RandomStreams(9).fork("device0").stream("nand").random()
+        b = RandomStreams(9).fork("device0").stream("nand").random()
+        assert a == b
+
+    def test_names_listing(self):
+        streams = RandomStreams(0)
+        streams.stream("b")
+        streams.stream("a")
+        assert list(streams.names()) == ["a", "b"]
+
+
+class TestDistributionHelpers:
+    def test_exponential_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            exponential_interarrival(RandomStreams(0).stream("x"), 0)
+
+    def test_exponential_mean_close(self):
+        rng = RandomStreams(3).stream("exp")
+        draws = [exponential_interarrival(rng, 100.0) for _ in range(20_000)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx(1 / 100.0, rel=0.05)
+
+    def test_uniform_int_bounds_and_step(self):
+        rng = RandomStreams(5).stream("u")
+        for _ in range(200):
+            value = uniform_int(rng, 4096, 1_048_576, step=512)
+            assert 4096 <= value <= 1_048_576
+            assert value % 512 == 0
+
+    def test_uniform_int_validates(self):
+        rng = RandomStreams(5).stream("u")
+        with pytest.raises(ValueError):
+            uniform_int(rng, 10, 5)
+        with pytest.raises(ValueError):
+            uniform_int(rng, 0, 10, step=0)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000), st.integers(1, 64))
+    def test_uniform_int_always_in_range(self, low, span, step):
+        rng = RandomStreams(11).stream("prop")
+        high = low + span
+        value = uniform_int(rng, low, high, step)
+        assert low <= value <= high
+        assert (value - low) % step == 0

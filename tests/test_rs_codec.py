@@ -1,0 +1,220 @@
+"""Tests for the Reed-Solomon codec: field math, codec, page chaining."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EccUncorrectableError
+from repro.nand.rs_codec import (
+    DecodeResult,
+    PageCodec,
+    RSCodec,
+    gf_div,
+    gf_inverse,
+    gf_mul,
+    gf_pow,
+    poly_eval,
+    poly_mul,
+)
+
+
+class TestFieldArithmetic:
+    def test_multiplicative_identity(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+
+    def test_zero_annihilates(self):
+        for a in range(256):
+            assert gf_mul(a, 0) == 0
+
+    def test_commutativity_sample(self):
+        rng = random.Random(1)
+        for _ in range(500):
+            a, b = rng.randrange(256), rng.randrange(256)
+            assert gf_mul(a, b) == gf_mul(b, a)
+
+    def test_inverse_roundtrip(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inverse(a)) == 1
+
+    def test_div_is_mul_by_inverse(self):
+        rng = random.Random(2)
+        for _ in range(300):
+            a, b = rng.randrange(256), rng.randrange(1, 256)
+            assert gf_div(a, b) == gf_mul(a, gf_inverse(b))
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    def test_pow_matches_repeated_mul(self):
+        for a in (1, 2, 37, 255):
+            acc = 1
+            for power in range(10):
+                assert gf_pow(a, power) == acc
+                acc = gf_mul(acc, a)
+
+    def test_field_order(self):
+        # alpha^255 == 1 for every non-zero element.
+        for a in (1, 2, 3, 91, 254):
+            assert gf_pow(a, 255) == 1
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+
+class TestPolynomials:
+    def test_poly_mul_identity(self):
+        assert poly_mul([1], [3, 7, 9]) == [3, 7, 9]
+
+    def test_poly_eval_constant(self):
+        assert poly_eval([42], 17) == 42
+
+    def test_poly_eval_known(self):
+        # p(x) = x + 1 at x=2 -> 3 (addition is XOR)
+        assert poly_eval([1, 1], 2) == 3
+
+
+class TestRSCodec:
+    def test_encode_is_systematic(self):
+        codec = RSCodec(nsym=8)
+        data = b"hello reed solomon"
+        coded = codec.encode(data)
+        assert coded[: len(data)] == data
+        assert len(coded) == len(data) + 8
+
+    def test_clean_decode(self):
+        codec = RSCodec(nsym=8)
+        coded = codec.encode(b"payload")
+        result = codec.decode(coded)
+        assert result.data == b"payload"
+        assert result.clean
+
+    def test_corrects_up_to_t_errors(self):
+        codec = RSCodec(nsym=16)  # t = 8
+        rng = random.Random(3)
+        data = bytes(rng.randrange(256) for _ in range(100))
+        coded = bytearray(codec.encode(data))
+        positions = rng.sample(range(len(coded)), 8)
+        for p in positions:
+            coded[p] ^= rng.randrange(1, 256)
+        result = codec.decode(bytes(coded))
+        assert result.data == data
+        assert result.corrected_symbols == 8
+
+    def test_rejects_more_than_t_errors(self):
+        codec = RSCodec(nsym=8)  # t = 4
+        rng = random.Random(4)
+        data = bytes(rng.randrange(256) for _ in range(64))
+        coded = bytearray(codec.encode(data))
+        for p in rng.sample(range(len(coded)), 12):
+            coded[p] ^= rng.randrange(1, 256)
+        with pytest.raises(EccUncorrectableError):
+            codec.decode(bytes(coded))
+
+    def test_parity_errors_also_corrected(self):
+        codec = RSCodec(nsym=8)
+        data = b"parity-damage-case"
+        coded = bytearray(codec.encode(data))
+        coded[-1] ^= 0xA5  # flip inside the parity tail
+        result = codec.decode(bytes(coded))
+        assert result.data == data
+        assert result.corrected_symbols == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RSCodec(nsym=3)  # odd
+        with pytest.raises(ConfigurationError):
+            RSCodec(nsym=0)
+        codec = RSCodec(nsym=8)
+        with pytest.raises(ConfigurationError):
+            codec.encode(b"")
+        with pytest.raises(ConfigurationError):
+            codec.encode(bytes(260))
+        with pytest.raises(ConfigurationError):
+            codec.decode(bytes(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        data=st.binary(min_size=1, max_size=120),
+        seed=st.integers(0, 2**16),
+        errors=st.integers(0, 6),
+    )
+    def test_property_roundtrip_under_noise(self, data, seed, errors):
+        codec = RSCodec(nsym=12)  # t = 6
+        rng = random.Random(seed)
+        coded = bytearray(codec.encode(data))
+        for p in rng.sample(range(len(coded)), min(errors, len(coded))):
+            coded[p] ^= rng.randrange(1, 256)
+        result = codec.decode(bytes(coded))
+        assert result.data == data
+
+
+class TestPageCodec:
+    def test_page_roundtrip(self):
+        codec = PageCodec(page_size=4096, nsym=16)
+        page = bytes(range(256)) * 16
+        stored = codec.protect(page)
+        assert len(stored) == codec.stored_size
+        result = codec.recover(stored)
+        assert result.data == page
+        assert result.clean
+
+    def test_scattered_errors_across_codewords(self):
+        codec = PageCodec(page_size=4096, nsym=16)
+        rng = random.Random(7)
+        page = bytes(rng.randrange(256) for _ in range(4096))
+        stored = bytearray(codec.protect(page))
+        # A few errors per codeword, all within t=8.  The final codeword is
+        # shorter (the page tail), so bound the injection per codeword.
+        base = 0
+        for cw in range(codec.codewords_per_page):
+            data_len = min(codec.chunk, codec.page_size - cw * codec.chunk)
+            cw_len = data_len + codec.codec.nsym
+            for p in rng.sample(range(cw_len), 3):
+                stored[base + p] ^= 0xFF
+            base += cw_len
+        result = codec.recover(bytes(stored))
+        assert result.data == page
+        assert result.corrected_symbols == 3 * codec.codewords_per_page
+
+    def test_concentrated_burst_beyond_t_never_returns_original(self):
+        """Past the correction radius a bounded-distance decoder either
+        detects the damage or *miscorrects* into a different codeword —
+        exactly why controllers stack a CRC above the ECC.  It must never
+        silently return the original data."""
+        codec = PageCodec(page_size=4096, nsym=8)  # t = 4 per codeword
+        page = bytes(4096)
+        stored = bytearray(codec.protect(page))
+        for p in range(20):  # 20 errors inside the first codeword
+            stored[p] ^= 0x77
+        try:
+            result = codec.recover(bytes(stored))
+        except EccUncorrectableError:
+            return  # detected: fine
+        assert result.data != page  # miscorrected: visibly wrong, not silent
+
+    def test_budget_model_alignment(self):
+        # The abstract EccScheme budget (bits) and the real codec's power
+        # (bytes) must be the same order of magnitude for the BCH preset.
+        from repro.nand.ecc import EccScheme
+
+        codec = PageCodec(page_size=4096, nsym=16)
+        budget_bits = EccScheme.bch().correctable_bits_per_page
+        # t=8 bytes/codeword; a byte error is >=1 bit error, so the codec's
+        # worst-case bit coverage is its byte coverage.
+        assert codec.correctable_bytes_per_page >= budget_bits
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PageCodec(page_size=0)
+        codec = PageCodec(page_size=4096)
+        with pytest.raises(ConfigurationError):
+            codec.protect(bytes(100))
+        with pytest.raises(ConfigurationError):
+            codec.recover(bytes(100))

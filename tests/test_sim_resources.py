@@ -1,0 +1,79 @@
+"""Tests for counted FIFO resources."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Kernel, Resource
+
+
+class TestResource:
+    def test_acquire_within_capacity_runs(self):
+        k = Kernel()
+        r = Resource(k, capacity=2)
+        ran = []
+        r.acquire(ran.append, 1)
+        r.acquire(ran.append, 2)
+        k.run()
+        assert ran == [1, 2]
+        assert r.in_use == 2
+
+    def test_over_capacity_queues_fifo(self):
+        k = Kernel()
+        r = Resource(k, capacity=1)
+        ran = []
+        r.acquire(ran.append, "a")
+        r.acquire(ran.append, "b")
+        r.acquire(ran.append, "c")
+        k.run()
+        assert ran == ["a"]
+        assert r.queue_depth == 2
+        r.release()
+        k.run()
+        assert ran == ["a", "b"]
+        r.release()
+        k.run()
+        assert ran == ["a", "b", "c"]
+
+    def test_release_idle_raises(self):
+        k = Kernel()
+        r = Resource(k)
+        with pytest.raises(SimulationError):
+            r.release()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Kernel(), capacity=0)
+
+    def test_drain_drops_waiters(self):
+        k = Kernel()
+        r = Resource(k, capacity=1)
+        ran = []
+        r.acquire(ran.append, "holder")
+        r.acquire(ran.append, "queued")
+        k.run()
+        assert r.drain() == 1
+        r.release()
+        k.run()
+        assert ran == ["holder"]
+        assert r.idle
+
+    def test_reset_returns_to_idle(self):
+        k = Kernel()
+        r = Resource(k, capacity=1)
+        r.acquire(lambda: None)
+        r.acquire(lambda: None)
+        k.run()
+        r.reset()
+        assert r.idle
+
+    def test_statistics(self):
+        k = Kernel()
+        r = Resource(k, capacity=1)
+        for _ in range(3):
+            r.acquire(lambda: None)
+        k.run()
+        assert r.peak_queue_depth == 2
+        r.release()
+        r.release()
+        k.run()
+        assert r.total_acquisitions == 3

@@ -1,0 +1,144 @@
+"""Tests for TRIM/discard support and its power-fault anomaly."""
+
+import pytest
+
+from repro.errors import AddressError
+from repro.ftl import FtlConfig
+from repro.host import HostSystem
+from repro.ssd.command import IoCommand
+from repro.ssd.device import SsdConfig
+from repro.units import GIB, MSEC, SEC
+
+
+def make_host(seed=61, **overrides):
+    defaults = dict(capacity_bytes=1 * GIB, init_time_us=30 * MSEC)
+    defaults.update(overrides)
+    host = HostSystem(config=SsdConfig(**defaults), seed=seed)
+    host.boot()
+    return host
+
+
+def submit_trim(host, lpn, count):
+    done = []
+    host.ssd.submit(IoCommand.trim(lpn, count, on_complete=done.append))
+    host.run_for_ms(10)
+    assert done and done[0].status.value == "ok"
+    return done[0]
+
+
+class TestTrimBasics:
+    def test_trim_unmaps_flash_data(self):
+        host = make_host()
+        host.write(10, [1, 2, 3])
+        host.run_for_ms(300)
+        assert host.ssd.peek(11) == 2
+        submit_trim(host, 10, 3)
+        assert host.ssd.peek(10) is None
+        assert host.ssd.peek(11) is None
+
+    def test_trim_drops_dirty_cache(self):
+        host = make_host()
+        host.write(10, [1, 2])
+        host.run_for_ms(1)  # acked, still dirty
+        submit_trim(host, 10, 2)
+        assert host.ssd.cache.dirty_count == 0
+        assert host.ssd.peek(10) is None
+
+    def test_trim_partial_range(self):
+        host = make_host()
+        host.write(10, [1, 2, 3, 4])
+        host.run_for_ms(300)
+        submit_trim(host, 11, 2)
+        assert host.ssd.peek(10) == 1
+        assert host.ssd.peek(11) is None
+        assert host.ssd.peek(12) is None
+        assert host.ssd.peek(13) == 4
+
+    def test_trim_unwritten_range_is_noop(self):
+        host = make_host()
+        result = host.ssd.ftl.trim_range(5000, 8)
+        assert result == 0
+        assert host.ssd.ftl.journal.pending_count == 0
+
+    def test_trim_frees_valid_pages_for_gc(self):
+        host = make_host()
+        host.write(0, [1, 2, 3, 4])
+        host.run_for_ms(300)
+        ppa = host.ssd.ftl.lookup(0)
+        block = host.ssd.chip.geometry.block_of(ppa)
+        before = host.ssd.ftl.valid_counts.get(block, 0)
+        submit_trim(host, 0, 4)
+        after = host.ssd.ftl.valid_counts.get(block, 0)
+        assert after == before - 4
+
+    def test_trim_validation(self):
+        host = make_host()
+        with pytest.raises(AddressError):
+            host.ssd.ftl.trim_range(-1, 4)
+        with pytest.raises(AddressError):
+            host.ssd.ftl.trim_range(0, 0)
+
+    def test_trim_of_extent_mapped_run(self):
+        host = make_host(ftl=FtlConfig(mapping_policy="extent"))
+        host.write(0, list(range(1, 9)))
+        host.write(8, list(range(9, 17)))
+        host.run_for_ms(300)
+        assert host.ssd.ftl.extent_map.entry_count() >= 1
+        submit_trim(host, 0, 16)
+        for lpn in range(16):
+            assert host.ssd.peek(lpn) is None
+
+
+class TestTrimPowerAnomaly:
+    def test_uncommitted_trim_rolls_back(self):
+        """The 'trimmed data came back' anomaly: a volatile trim is undone."""
+        host = make_host(
+            ftl=FtlConfig(
+                journal_commit_interval_us=10 * SEC,
+                page_recovery_prob=0.0,
+                extent_recovery_prob=0.0,
+            )
+        )
+        host.write(10, [7])
+        host.run_for_ms(300)
+        host.ssd.ftl.checkpoint()  # the write is durable
+        submit_trim(host, 10, 1)
+        assert host.ssd.peek(10) is None  # trimmed
+        host.cut_power()
+        host.run_for_ms(1500)
+        host.restore_power()
+        host.wait_until_ready()
+        # The trim's map update was volatile and the scan lost it: the old
+        # binding is restored and the "deleted" data is back.
+        assert host.ssd.peek(10) == 7
+
+    def test_committed_trim_survives(self):
+        host = make_host(
+            ftl=FtlConfig(
+                journal_commit_interval_us=10 * SEC,
+                page_recovery_prob=0.0,
+                extent_recovery_prob=0.0,
+            )
+        )
+        host.write(10, [7])
+        host.run_for_ms(300)
+        submit_trim(host, 10, 1)
+        host.ssd.ftl.checkpoint()  # trim made durable
+        host.cut_power()
+        host.run_for_ms(1500)
+        host.restore_power()
+        host.wait_until_ready()
+        assert host.ssd.peek(10) is None
+
+
+class TestHostTrimHelper:
+    def test_host_trim_roundtrip(self):
+        host = make_host(seed=64)
+        host.write(30, [9, 8])
+        host.run_for_ms(300)
+        done = []
+        host.trim(30, 2, on_complete=done.append)
+        host.run_for_ms(10)
+        assert done and done[0].status.value == "ok"
+        assert host.ssd.peek(30) is None
+        assert host.ssd.peek(31) is None

@@ -1,0 +1,81 @@
+"""Tests for repro.units conversions and alignment helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_msec_is_thousand_usec(self):
+        assert units.msec(1) == 1_000
+
+    def test_sec_is_million_usec(self):
+        assert units.sec(1) == 1_000_000
+
+    def test_fractional_msec_rounds(self):
+        assert units.msec(1.5) == 1_500
+        assert units.msec(0.0004) == 0
+
+    def test_roundtrip_msec(self):
+        assert units.to_msec(units.msec(123.0)) == pytest.approx(123.0)
+
+    def test_roundtrip_sec(self):
+        assert units.to_sec(units.sec(2.5)) == pytest.approx(2.5)
+
+
+class TestByteConversions:
+    def test_kib(self):
+        assert units.kib(4) == 4096
+
+    def test_mib(self):
+        assert units.mib(1) == 1024 * 1024
+
+    def test_gib(self):
+        assert units.gib(2) == 2 * 1024**3
+
+    def test_to_gib_roundtrip(self):
+        assert units.to_gib(units.gib(64)) == pytest.approx(64.0)
+
+
+class TestSectorsAndAlignment:
+    def test_sectors_exact(self):
+        assert units.sectors(4096) == 8
+
+    def test_sectors_unaligned_raises(self):
+        with pytest.raises(ValueError):
+            units.sectors(1000)
+
+    def test_align_up(self):
+        assert units.align_up(4097, 4096) == 8192
+        assert units.align_up(4096, 4096) == 4096
+        assert units.align_up(0, 4096) == 0
+
+    def test_align_down(self):
+        assert units.align_down(4097, 4096) == 4096
+        assert units.align_down(4095, 4096) == 0
+
+    def test_align_bad_granule(self):
+        with pytest.raises(ValueError):
+            units.align_up(1, 0)
+        with pytest.raises(ValueError):
+            units.align_down(1, -4)
+
+    def test_pages_in(self):
+        assert units.pages_in(0) == 0
+        assert units.pages_in(1) == 1
+        assert units.pages_in(4096) == 1
+        assert units.pages_in(4097) == 2
+        assert units.pages_in(units.mib(1)) == 256
+
+    def test_pages_in_negative_raises(self):
+        with pytest.raises(ValueError):
+            units.pages_in(-1)
+
+
+class TestConstants:
+    def test_detach_voltage_matches_paper(self):
+        # Fig. 4b: SSD turns off at 4.5 V.
+        assert units.SSD_DETACH_VOLTAGE == 4.5
+
+    def test_sector_size(self):
+        assert units.SECTOR == 512

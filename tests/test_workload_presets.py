@@ -1,0 +1,71 @@
+"""Tests for the paper-experiment workload presets."""
+
+import pytest
+
+from repro.core import calibration
+from repro.errors import ConfigurationError
+from repro.units import GIB, KIB, MIB
+from repro.workload import presets
+from repro.workload.spec import AccessPattern
+
+
+class TestCommonWorkload:
+    def test_baseline_matches_paper_text(self):
+        spec = presets.common_random_write()
+        assert spec.size_min_bytes == 4 * KIB
+        assert spec.size_max_bytes == 1 * MIB
+        assert spec.read_fraction == 0.0
+        assert spec.pattern is AccessPattern.RANDOM
+        assert spec.wss_bytes == 64 * GIB
+
+
+class TestSweeps:
+    def test_request_type_points(self):
+        sweep = presets.request_type_sweep()
+        assert sorted(sweep) == [0, 20, 50, 80, 100]
+        assert sweep[100].read_fraction == 1.0
+        assert sweep[0].read_fraction == 0.0
+
+    def test_wss_points_default(self):
+        sweep = presets.wss_sweep()
+        assert sweep[90].wss_bytes == 90 * GIB
+        assert all(spec.read_fraction == 0.0 for spec in sweep.values())
+
+    def test_wss_validation(self):
+        with pytest.raises(ConfigurationError):
+            presets.wss_sweep([0])
+
+    def test_pattern_pair(self):
+        pair = presets.access_pattern_pair()
+        assert pair["random"].pattern is AccessPattern.RANDOM
+        assert pair["sequential"].pattern is AccessPattern.SEQUENTIAL
+        assert pair["random"].wss_bytes == pair["sequential"].wss_bytes == 64 * GIB
+
+    def test_size_sweep_fixed_sizes(self):
+        sweep = presets.request_size_sweep()
+        assert sorted(sweep) == [4, 16, 64, 256, 1024]
+        for size_kib, spec in sweep.items():
+            assert spec.fixed_size
+            assert spec.size_min_bytes == size_kib * KIB
+
+    def test_iops_sweep_matches_paper_axis(self):
+        sweep = presets.iops_sweep()
+        assert sorted(sweep) == [1200, 2400, 6000, 12000, 20000, 25000, 30000]
+        assert all(spec.open_loop for spec in sweep.values())
+
+    def test_sequence_sweep(self):
+        sweep = presets.sequence_sweep()
+        assert sorted(sweep) == ["RAR", "RAW", "WAR", "WAW"]
+        assert sweep["WAW"].sequence == "WAW"
+
+
+class TestRegistryAlignment:
+    def test_families_match_calibration_fault_registry(self):
+        assert set(presets.ALL_FAMILIES) == set(calibration.PAPER_FAULTS)
+
+    def test_all_builders_produce_valid_specs(self):
+        for name, builder in presets.ALL_FAMILIES.items():
+            sweep = builder()
+            assert sweep, name
+            for spec in sweep.values():
+                assert spec.wss_pages > 0
