@@ -10,6 +10,16 @@ Scaling: the paper's campaigns run 200-800 faults per experiment.  Set
 ``REPRO_BENCH_SCALE`` (default 0.04) to scale the *fault count*; the cycle
 length is never scaled because per-fault statistics need the stranded-update
 population at steady state (see ``repro.core.calibration``).
+
+Parallelism: campaigns execute through :mod:`repro.engine`.  Set
+``REPRO_BENCH_JOBS=N`` to run each campaign's shards over N worker
+processes (paper-scale budgets are embarrassingly parallel).  The shard
+plan is fixed at ``BENCH_SHARD_FAULTS`` faults per shard regardless of
+job count, so bench results depend only on the scale — never on how many
+workers executed them.  Campaigns of ``<= BENCH_SHARD_FAULTS`` faults
+(every family at the default smoke scale) are a single shard seeded
+exactly like the legacy serial runner, so historical numbers are
+unchanged.
 """
 
 from __future__ import annotations
@@ -18,9 +28,8 @@ import os
 from typing import Dict, List, Optional
 
 from repro.core import calibration
-from repro.core.campaign import Campaign, CampaignConfig
-from repro.core.platform import TestPlatform
 from repro.core.results import CampaignResult
+from repro.engine import CampaignPlan, run_plan
 from repro.ssd.device import SsdConfig
 from repro.workload.spec import WorkloadSpec
 
@@ -28,6 +37,17 @@ from repro.workload.spec import WorkloadSpec
 def bench_scale() -> float:
     """Campaign scale factor from the environment (paper scale = 1.0)."""
     return float(os.environ.get("REPRO_BENCH_SCALE", "0.04"))
+
+
+BENCH_SHARD_FAULTS = 25
+"""Fixed engine shard size for benches (jobs-independent, so results are
+identical for any ``REPRO_BENCH_JOBS``; paper-scale budgets of 200-800
+faults split into 8-32 parallelisable shards)."""
+
+
+def bench_jobs() -> int:
+    """Engine worker count from the environment (default serial)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
 
 
 def fault_budget(experiment_key: str) -> int:
@@ -42,11 +62,24 @@ def run_campaign(
     seed: int,
     config: Optional[SsdConfig] = None,
     label: str = "",
+    jobs: Optional[int] = None,
 ) -> CampaignResult:
-    """One campaign on a fresh platform."""
-    platform = TestPlatform(spec, config=config, seed=seed)
-    campaign = Campaign(platform, CampaignConfig(faults=faults))
-    return campaign.run(label or spec.describe())
+    """One engine-backed campaign (``REPRO_BENCH_JOBS`` controls workers).
+
+    The shard plan is fixed (``BENCH_SHARD_FAULTS`` per shard) so the
+    result is identical for any job count; budgets at or below the shard
+    size run as one shard seeded exactly like the legacy serial runner.
+    """
+    jobs = bench_jobs() if jobs is None else max(1, jobs)
+    plan = CampaignPlan(
+        spec=spec,
+        faults=faults,
+        device=config,
+        base_seed=seed,
+        label=label or spec.describe(),
+        shard_faults=BENCH_SHARD_FAULTS,
+    )
+    return run_plan(plan, jobs=jobs)
 
 
 def print_banner(title: str, anchor_keys: List[str]) -> None:

@@ -8,26 +8,45 @@ their failure profiles, echoing the paper's finding (and Zheng et al.'s)
 that essentially every consumer drive loses data under power faults while
 protected designs do not.
 
+The population runs as one engine fleet: eight single-shard campaign plans
+with disjoint seeds, executed serially or across worker processes
+(``--jobs``) with identical results either way.
+
 Run:
-    python examples/vendor_comparison.py
+    python examples/vendor_comparison.py            # serial
+    python examples/vendor_comparison.py --jobs 4   # parallel fleet
 """
 
-from repro import Campaign, CampaignConfig, TestPlatform, WorkloadSpec
+import sys
+
+from repro import WorkloadSpec
 from repro.analysis import ascii_table
+from repro.core.fleet import run_fleet
 from repro.ssd import models
 from repro.units import GIB
 
 
 def main() -> None:
+    jobs = (
+        int(sys.argv[sys.argv.index("--jobs") + 1]) if "--jobs" in sys.argv else 1
+    )
     spec = WorkloadSpec(wss_bytes=8 * GIB, read_fraction=0.0, outstanding=16)
     population = dict(models.table_one_units())
     population["enterprise-plp"] = models.ssd_enterprise_supercap()
     population["hdd-control"] = models.hdd_like_control()
 
+    results = run_fleet(
+        population,
+        spec,
+        faults=5,
+        base_seed=3000,
+        jobs=jobs,
+        progress=lambda name, result: print(f"  finished {name}"),
+    )
+
     rows = []
-    for index, (name, config) in enumerate(sorted(population.items())):
-        platform = TestPlatform(spec, config=config, seed=3000 + index)
-        result = Campaign(platform, CampaignConfig(faults=5)).run(name)
+    for name in sorted(population):
+        config, result = population[name], results[name]
         rows.append(
             [
                 name,
@@ -40,7 +59,6 @@ def main() -> None:
                 f"{result.data_loss_per_fault:.2f}",
             ]
         )
-        print(f"  finished {name}")
 
     print()
     print(

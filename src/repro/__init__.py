@@ -25,6 +25,13 @@ from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.platform import TestPlatform
 from repro.core.results import CampaignResult, FaultCycleResult
 from repro.core.scheduler import FaultScheduler
+from repro.engine import (
+    CampaignPlan,
+    ParallelExecutor,
+    SerialExecutor,
+    run_plan,
+    run_plans,
+)
 from repro.host.system import HostSystem
 from repro.power.psu import AtxPsu, DischargeProfile, InstantCutoffPsu
 from repro.ssd import models
@@ -40,6 +47,7 @@ __all__ = [
     "AtxPsu",
     "Campaign",
     "CampaignConfig",
+    "CampaignPlan",
     "CampaignResult",
     "DischargeProfile",
     "FailureKind",
@@ -49,10 +57,14 @@ __all__ = [
     "HostSystem",
     "IOGenerator",
     "InstantCutoffPsu",
+    "ParallelExecutor",
+    "SerialExecutor",
     "SsdConfig",
     "SsdDevice",
     "TestPlatform",
     "WorkloadSpec",
     "models",
+    "run_plan",
+    "run_plans",
     "__version__",
 ]

@@ -23,6 +23,7 @@ from repro.analysis import ascii_table
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.experiment import run_discharge_capture, run_post_ack_sweep
 from repro.core.platform import TestPlatform
+from repro.engine import CampaignPlan, ConsoleProgress, DEFAULT_SHARD_FAULTS, run_plan
 from repro.ssd import models
 from repro.units import GIB, KIB
 from repro.workload.spec import AccessPattern, WorkloadSpec
@@ -54,6 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--iops", type=float, default=None, help="open-loop requested IOPS")
     campaign.add_argument("--per-cycle", action="store_true", help="print per-fault rows")
+    campaign.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (shard plan is fixed, so results match any job count)",
+    )
+    campaign.add_argument(
+        "--shard-faults",
+        type=int,
+        default=DEFAULT_SHARD_FAULTS,
+        help="max faults per engine shard (determines available parallelism)",
+    )
+    campaign.add_argument(
+        "--progress", action="store_true", help="print engine shard telemetry to stderr"
+    )
 
     discharge = sub.add_parser("discharge", help="capture the Fig. 4 PSU waveform")
     group = discharge.add_mutually_exclusive_group()
@@ -78,6 +94,12 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--faults", type=int, default=4)
     fleet.add_argument("--seed", type=int, default=1)
     fleet.add_argument("--wss-gib", type=int, default=8)
+    fleet.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; the fleet's per-device shards run concurrently",
+    )
 
     replay = sub.add_parser(
         "replay", help="replay a captured trace against a device, optionally with a fault"
@@ -132,10 +154,19 @@ def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    config = models.by_name(args.device)
-    platform = TestPlatform(_spec_from_args(args), config=config, seed=args.seed)
-    print(f"running {args.faults} faults against {platform.describe()} ...")
-    result = Campaign(platform, CampaignConfig(faults=args.faults)).run()
+    plan = CampaignPlan(
+        spec=_spec_from_args(args),
+        faults=args.faults,
+        device=models.by_name(args.device),
+        base_seed=args.seed,
+        shard_faults=args.shard_faults,
+    )
+    print(
+        f"running {args.faults} faults against {plan.display_label()} "
+        f"({plan.shard_count()} shards, jobs={args.jobs}) ..."
+    )
+    progress = ConsoleProgress() if args.progress else None
+    result = run_plan(plan, jobs=args.jobs, progress=progress)
     if args.per_cycle:
         print(
             ascii_table(
@@ -218,6 +249,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         spec,
         faults=args.faults,
         base_seed=args.seed,
+        jobs=args.jobs,
         progress=lambda name, result: print(
             f"  {name}: {result.total_data_loss} data loss over {result.faults} faults"
         ),

@@ -19,7 +19,7 @@ Maps one-to-one onto Fig. 1 of the paper:
 
 from repro.core.analyzer import Analyzer, FailureKind, FailureRecord
 from repro.core.campaign import Campaign, CampaignConfig
-from repro.core.fleet import merge_by_model, rank_by_loss, run_fleet
+from repro.core.fleet import merge_by_model, plan_fleet, rank_by_loss, run_fleet
 from repro.core.ledger_io import check_ledger, load_ledger, save_ledger
 from repro.core.platform import TestPlatform
 from repro.core.results import CampaignResult, FaultCycleResult
@@ -38,6 +38,7 @@ __all__ = [
     "check_ledger",
     "load_ledger",
     "merge_by_model",
+    "plan_fleet",
     "rank_by_loss",
     "run_fleet",
     "save_ledger",

@@ -64,6 +64,7 @@ class Campaign:
     def __init__(self, platform: TestPlatform, config: Optional[CampaignConfig] = None) -> None:
         self.platform = platform
         self.config = config or CampaignConfig()
+        self._traffic_time = 0
 
     def run(self, label: Optional[str] = None) -> CampaignResult:
         """Execute the full campaign and return aggregated results."""
@@ -133,4 +134,4 @@ class Campaign:
         return cycle
 
     def _accumulate_traffic_time(self, duration_us: int) -> None:
-        self._traffic_time = getattr(self, "_traffic_time", 0) + max(0, duration_us)
+        self._traffic_time += max(0, duration_us)

@@ -2,21 +2,71 @@
 
 The paper's population is six drives; campaigns across device zoos are a
 recurring need (Table I regeneration, vendor comparisons, A/B firmware
-studies).  ``run_fleet`` runs one identical workload campaign per device
-config with disjoint seeds, and ``merge_by_model`` folds per-unit results
-into per-model aggregates (the paper reports per model, two units each).
+studies).  ``run_fleet`` is a thin planner over :mod:`repro.engine`: it
+builds one :class:`~repro.engine.plan.CampaignPlan` per device config with
+disjoint seeds and hands the whole batch to an engine executor, so a fleet
+parallelises across devices (and, with ``shard_faults``, within them) by
+passing ``jobs``.  ``merge_by_model`` folds per-unit results into
+per-model aggregates (the paper reports per model, two units each).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.core.campaign import Campaign, CampaignConfig
-from repro.core.platform import TestPlatform
+from repro.core.campaign import CampaignConfig
 from repro.core.results import CampaignResult
 from repro.errors import CampaignError
 from repro.ssd.device import SsdConfig
 from repro.workload.spec import WorkloadSpec
+
+FLEET_SEED_STRIDE = 101
+"""Base-seed spacing between fleet devices (legacy-compatible)."""
+
+
+def plan_fleet(
+    configs: Dict[str, SsdConfig],
+    spec: WorkloadSpec,
+    faults: int,
+    base_seed: int = 0,
+    campaign_config: Optional[CampaignConfig] = None,
+    shard_faults: Optional[int] = None,
+) -> list:
+    """One :class:`CampaignPlan` per device, identical workload, disjoint seeds.
+
+    Devices are planned in sorted-name order; device ``i`` gets base seed
+    ``base_seed + i * FLEET_SEED_STRIDE``.  With ``shard_faults=None`` each
+    device is a single shard, which reproduces the legacy serial fleet
+    exactly while still letting a parallel executor overlap devices.
+    """
+    from repro.engine import CampaignPlan
+
+    if not configs:
+        raise CampaignError("fleet needs at least one device")
+    if faults <= 0:
+        raise CampaignError("fleet needs a positive fault budget")
+    timing = {}
+    if campaign_config is not None:
+        # A full CampaignConfig overrides the bare fault budget, as the
+        # legacy run_fleet signature did.
+        faults = campaign_config.faults
+        timing = {
+            "settle_us": campaign_config.settle_us,
+            "ready_timeout_us": campaign_config.ready_timeout_us,
+            "warmup_us": campaign_config.warmup_us,
+        }
+    return [
+        CampaignPlan(
+            spec=spec,
+            faults=faults,
+            device=config,
+            base_seed=base_seed + index * FLEET_SEED_STRIDE,
+            label=name,
+            shard_faults=shard_faults,
+            **timing,
+        )
+        for index, (name, config) in enumerate(sorted(configs.items()))
+    ]
 
 
 def run_fleet(
@@ -26,27 +76,38 @@ def run_fleet(
     base_seed: int = 0,
     campaign_config: Optional[CampaignConfig] = None,
     progress: Optional[Callable[[str, CampaignResult], None]] = None,
+    jobs: Optional[int] = None,
+    shard_faults: Optional[int] = None,
+    executor=None,
 ) -> Dict[str, CampaignResult]:
-    """One campaign per device, identical workload, disjoint seeds.
+    """One campaign per device through the execution engine.
 
-    ``progress`` (if given) is invoked after each device finishes — examples
-    use it for console feedback on long fleets.
+    ``progress`` (if given) is invoked as each device's plan finishes —
+    examples use it for console feedback on long fleets.  ``jobs > 1``
+    executes the fleet's shards on a process pool; results are identical
+    to ``jobs=1`` because the plans (and their shard seeds) don't depend
+    on the executor.
     """
-    if not configs:
-        raise CampaignError("fleet needs at least one device")
-    if faults <= 0:
-        raise CampaignError("fleet needs a positive fault budget")
+    from repro.engine import run_plans
+
+    plans = plan_fleet(
+        configs,
+        spec,
+        faults,
+        base_seed=base_seed,
+        campaign_config=campaign_config,
+        shard_faults=shard_faults,
+    )
     results: Dict[str, CampaignResult] = {}
-    for index, (name, config) in enumerate(sorted(configs.items())):
-        platform = TestPlatform(spec, config=config, seed=base_seed + index * 101)
-        campaign = Campaign(
-            platform, campaign_config or CampaignConfig(faults=faults)
-        )
-        result = campaign.run(name)
+
+    def _plan_done(plan_index: int, result: CampaignResult) -> None:
+        name = plans[plan_index].label
         results[name] = result
         if progress is not None:
             progress(name, result)
-    return results
+
+    run_plans(plans, executor=executor, jobs=jobs, on_plan_done=_plan_done)
+    return {plan.label: results[plan.label] for plan in plans}
 
 
 def merge_by_model(results: Dict[str, CampaignResult]) -> Dict[str, CampaignResult]:
@@ -61,11 +122,7 @@ def merge_by_model(results: Dict[str, CampaignResult]) -> Dict[str, CampaignResu
             merged[model] = merged[model].merged_with(result)
             merged[model].label = model
         else:
-            clone = CampaignResult(label=model)
-            clone.cycles = list(result.cycles)
-            clone.traffic_time_us = result.traffic_time_us
-            clone.requests_issued = result.requests_issued
-            merged[model] = clone
+            merged[model] = result.clone(label=model)
     return merged
 
 

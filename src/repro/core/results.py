@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
 
 from repro.units import to_sec
 
@@ -122,9 +122,20 @@ class CampaignResult:
             "fwa_fraction": round(self.fwa_fraction, 3),
         }
 
+    def clone(self, label: Optional[str] = None) -> "CampaignResult":
+        """Field-complete copy (fresh cycle list, same cycle records).
+
+        Built on :func:`dataclasses.replace` so a field added to this class
+        is carried along automatically instead of being silently dropped by
+        hand-written copies (merge code relies on this).
+        """
+        copy = replace(self, label=self.label if label is None else label)
+        copy.cycles = list(self.cycles)
+        return copy
+
     def merged_with(self, other: "CampaignResult") -> "CampaignResult":
         """Combine two campaigns (e.g. the two units of one Table I model)."""
-        merged = CampaignResult(label=self.label)
+        merged = self.clone()
         merged.cycles = list(self.cycles) + list(other.cycles)
         merged.traffic_time_us = self.traffic_time_us + other.traffic_time_us
         merged.requests_issued = self.requests_issued + other.requests_issued

@@ -1,0 +1,128 @@
+"""Sharded campaign execution engine.
+
+Every campaign in the repo — CLI, fleet, benches, examples — runs through
+this layer:
+
+1. declare a :class:`CampaignPlan` (spec + device + fault budget + seed
+   policy + label);
+2. the plan splits its fault budget into deterministic shards
+   (:meth:`CampaignPlan.shards`);
+3. an executor (:class:`SerialExecutor` or the process-pool
+   :class:`ParallelExecutor`) runs the shards;
+4. shard results merge in shard order via
+   :meth:`~repro.core.results.CampaignResult.merged_with`.
+
+Because the shard decomposition and per-shard seeds depend only on the
+plan, the merged result is identical for any executor and worker count —
+``run_plan(plan, jobs=1)`` and ``run_plan(plan, jobs=16)`` agree exactly.
+
+Example
+-------
+>>> from repro.engine import CampaignPlan, run_plan
+>>> from repro.workload.spec import WorkloadSpec
+>>> plan = CampaignPlan(spec=WorkloadSpec(), faults=8, base_seed=7,
+...                     shard_faults=2, label="demo")
+>>> result = run_plan(plan, jobs=4)  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.results import CampaignResult
+from repro.engine.executors import (
+    make_executor,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardTask,
+)
+from repro.engine.plan import (
+    CampaignPlan,
+    DEFAULT_SHARD_FAULTS,
+    derive_shard_seed,
+    merge_shard_results,
+    ShardSpec,
+)
+from repro.engine.progress import (
+    ConsoleProgress,
+    EngineTelemetry,
+    ProgressEvent,
+    ProgressHook,
+)
+
+PlanDoneHook = Callable[[int, CampaignResult], None]
+
+
+def run_plans(
+    plans: Sequence[CampaignPlan],
+    executor=None,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+    on_plan_done: Optional[PlanDoneHook] = None,
+) -> List[CampaignResult]:
+    """Execute several plans through one executor, merging per plan.
+
+    Shards of all plans form a single work queue, so a parallel executor
+    overlaps shards *across* plans (a fleet of six one-shard devices keeps
+    six workers busy).  Results come back in plan order; ``on_plan_done``
+    fires as soon as each plan's last shard has merged — for serial
+    executors that is progressive, matching the legacy fleet progress
+    callback semantics.
+    """
+    if executor is None:
+        executor = make_executor(jobs)
+    tasks: List[ShardTask] = [
+        (plan_index, plan, shard)
+        for plan_index, plan in enumerate(plans)
+        for shard in plan.shards()
+    ]
+    telemetry = EngineTelemetry(
+        shards_total=len(tasks),
+        cycles_total=sum(shard.faults for _, _, shard in tasks),
+        hook=progress,
+    )
+    shard_results: List[dict] = [{} for _ in plans]
+    merged: List[Optional[CampaignResult]] = [None for _ in plans]
+    for (plan_index, shard_index), result in executor.execute(tasks, telemetry):
+        plan = plans[plan_index]
+        shard_results[plan_index][shard_index] = result
+        if len(shard_results[plan_index]) == plan.shard_count():
+            ordered = tuple(
+                shard_results[plan_index][i] for i in range(plan.shard_count())
+            )
+            merged[plan_index] = merge_shard_results(plan, ordered)
+            telemetry.plan_finished(plan.display_label(), plan.shard_count())
+            if on_plan_done is not None:
+                on_plan_done(plan_index, merged[plan_index])
+    missing = [index for index, result in enumerate(merged) if result is None]
+    if missing:
+        raise RuntimeError(f"executor returned no result for plans {missing}")
+    return merged  # type: ignore[return-value]
+
+
+def run_plan(
+    plan: CampaignPlan,
+    executor=None,
+    jobs: Optional[int] = None,
+    progress: Optional[ProgressHook] = None,
+) -> CampaignResult:
+    """Execute one plan and return its merged campaign result."""
+    return run_plans([plan], executor=executor, jobs=jobs, progress=progress)[0]
+
+
+__all__ = [
+    "CampaignPlan",
+    "ConsoleProgress",
+    "DEFAULT_SHARD_FAULTS",
+    "EngineTelemetry",
+    "ParallelExecutor",
+    "ProgressEvent",
+    "ProgressHook",
+    "SerialExecutor",
+    "ShardSpec",
+    "derive_shard_seed",
+    "make_executor",
+    "merge_shard_results",
+    "run_plan",
+    "run_plans",
+]

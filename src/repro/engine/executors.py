@@ -1,0 +1,107 @@
+"""Shard executors: serial and multiprocess campaign execution.
+
+Both executors consume the same ordered list of ``(plan ordinal, plan,
+shard)`` tasks and yield ``((plan ordinal, shard index), CampaignResult)``
+pairs **in task order**, so everything downstream (merge, progress, fleet
+callbacks) is executor-agnostic and deterministic.
+
+:class:`ParallelExecutor` fans shards out over a
+``concurrent.futures.ProcessPoolExecutor``.  Workers receive the pickled
+:class:`~repro.engine.plan.CampaignPlan` and hydrate their own
+``TestPlatform`` (simulation state never crosses process boundaries — only
+plans go in and :class:`~repro.core.results.CampaignResult` records come
+back).  A per-shard timeout plus a retry-once fallback keeps one wedged or
+crashed worker from killing the whole campaign: the affected shard is
+re-run in-process, which yields the identical result because shard seeds
+are deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.results import CampaignResult
+from repro.engine.plan import CampaignPlan, ShardSpec
+from repro.engine.progress import EngineTelemetry
+
+ShardTask = Tuple[int, CampaignPlan, ShardSpec]
+ShardKey = Tuple[int, int]
+
+
+def _run_shard_task(plan: CampaignPlan, shard: ShardSpec) -> CampaignResult:
+    """Worker entry point (module-level so it pickles)."""
+    return plan.run_shard(shard)
+
+
+class SerialExecutor:
+    """Runs shards one after another in the calling process."""
+
+    jobs = 1
+
+    def execute(
+        self, tasks: Sequence[ShardTask], telemetry: EngineTelemetry
+    ) -> Iterator[Tuple[ShardKey, CampaignResult]]:
+        """Yield ``(key, result)`` for each task, in order."""
+        for plan_index, plan, shard in tasks:
+            label = plan.display_label()
+            telemetry.shard_started(label, shard.index, shard.count)
+            result = _run_shard_task(plan, shard)
+            telemetry.shard_finished(label, shard.index, shard.count, shard.faults)
+            yield (plan_index, shard.index), result
+
+
+class ParallelExecutor:
+    """Process-pool execution with per-shard timeout and retry-once.
+
+    ``jobs`` defaults to the machine's CPU count.  ``shard_timeout_s``
+    bounds how long the engine waits on any single shard once it becomes
+    the head of the merge order; on timeout (or on a worker exception /
+    broken pool) the shard is retried exactly once, in-process, before the
+    campaign is allowed to fail.
+    """
+
+    def __init__(
+        self, jobs: Optional[int] = None, shard_timeout_s: Optional[float] = None
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else (os.cpu_count() or 1))
+        self.shard_timeout_s = shard_timeout_s
+
+    def execute(
+        self, tasks: Sequence[ShardTask], telemetry: EngineTelemetry
+    ) -> Iterator[Tuple[ShardKey, CampaignResult]]:
+        """Yield ``(key, result)`` in task order, fanning work out first."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, max(1, len(tasks))))
+        futures: List = []
+        try:
+            for plan_index, plan, shard in tasks:
+                telemetry.shard_started(
+                    plan.display_label(), shard.index, shard.count
+                )
+                futures.append(pool.submit(_run_shard_task, plan, shard))
+            for (plan_index, plan, shard), future in zip(tasks, futures):
+                label = plan.display_label()
+                try:
+                    result = future.result(timeout=self.shard_timeout_s)
+                except Exception as exc:  # timeout, worker crash, broken pool
+                    telemetry.shard_retried(
+                        label, shard.index, shard.count, reason=repr(exc)
+                    )
+                    result = _run_shard_task(plan, shard)
+                telemetry.shard_finished(
+                    label, shard.index, shard.count, shard.faults
+                )
+                yield (plan_index, shard.index), result
+        finally:
+            # Don't block on workers that may be wedged; abandoned shards
+            # were already re-run in-process above.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+def make_executor(jobs: Optional[int] = None):
+    """Executor for a requested worker count (``None``/``0``/``1`` = serial)."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs=jobs)

@@ -1,0 +1,160 @@
+"""Engine progress/telemetry hooks.
+
+Executors report shard lifecycle events through an :class:`EngineTelemetry`
+instance; consumers (CLI, benches, tests) receive :class:`ProgressEvent`
+snapshots carrying throughput (cycles/sec) and an ETA estimate.  The hook
+is a plain callable, so tests can collect events into a list and the CLI
+can render them as console lines.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One telemetry snapshot, emitted on every shard state change."""
+
+    kind: str  # "shard-started" | "shard-finished" | "shard-retried" | "plan-finished"
+    plan_label: str
+    shard_index: int
+    shard_count: int
+    shards_done: int
+    shards_total: int
+    cycles_done: int
+    cycles_total: int
+    elapsed_s: float
+    cycles_per_sec: float
+    eta_s: Optional[float]
+    detail: str = ""
+
+
+ProgressHook = Callable[[ProgressEvent], None]
+
+
+class EngineTelemetry:
+    """Aggregates shard events into throughput/ETA snapshots.
+
+    Executors call the ``shard_*``/``plan_finished`` methods; each call
+    builds a :class:`ProgressEvent` and forwards it to the hook (if any).
+    """
+
+    def __init__(
+        self,
+        shards_total: int,
+        cycles_total: int,
+        hook: Optional[ProgressHook] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.shards_total = shards_total
+        self.cycles_total = cycles_total
+        self.shards_done = 0
+        self.cycles_done = 0
+        self.retries = 0
+        self._hook = hook
+        self._clock = clock
+        self._start = clock()
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        """Wall-clock seconds since the engine run started."""
+        return self._clock() - self._start
+
+    @property
+    def cycles_per_sec(self) -> float:
+        """Observed completed-cycle throughput."""
+        elapsed = self.elapsed_s
+        if elapsed <= 0.0 or self.cycles_done == 0:
+            return 0.0
+        return self.cycles_done / elapsed
+
+    @property
+    def eta_s(self) -> Optional[float]:
+        """Estimated seconds to completion (None until throughput is known)."""
+        rate = self.cycles_per_sec
+        if rate <= 0.0:
+            return None
+        return max(0.0, (self.cycles_total - self.cycles_done) / rate)
+
+    # -- event entry points -------------------------------------------------------
+
+    def shard_started(self, plan_label: str, index: int, count: int) -> None:
+        """A shard began executing (or was submitted to a worker)."""
+        self._emit("shard-started", plan_label, index, count)
+
+    def shard_finished(
+        self, plan_label: str, index: int, count: int, cycles: int
+    ) -> None:
+        """A shard completed; fold its cycles into the throughput estimate."""
+        self.shards_done += 1
+        self.cycles_done += cycles
+        self._emit("shard-finished", plan_label, index, count)
+
+    def shard_retried(
+        self, plan_label: str, index: int, count: int, reason: str
+    ) -> None:
+        """A shard failed or timed out and is being retried in-process."""
+        self.retries += 1
+        self._emit("shard-retried", plan_label, index, count, detail=reason)
+
+    def plan_finished(self, plan_label: str, shard_count: int) -> None:
+        """Every shard of one plan has merged."""
+        self._emit("plan-finished", plan_label, max(0, shard_count - 1), shard_count)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _emit(
+        self, kind: str, plan_label: str, index: int, count: int, detail: str = ""
+    ) -> None:
+        if self._hook is None:
+            return
+        self._hook(
+            ProgressEvent(
+                kind=kind,
+                plan_label=plan_label,
+                shard_index=index,
+                shard_count=count,
+                shards_done=self.shards_done,
+                shards_total=self.shards_total,
+                cycles_done=self.cycles_done,
+                cycles_total=self.cycles_total,
+                elapsed_s=self.elapsed_s,
+                cycles_per_sec=self.cycles_per_sec,
+                eta_s=self.eta_s,
+                detail=detail,
+            )
+        )
+
+
+class ConsoleProgress:
+    """Progress hook rendering one console line per event.
+
+    Writes to ``stderr`` by default so the engine's chatter never pollutes
+    parseable stdout tables.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None, verbose: bool = False) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.verbose = verbose
+
+    def __call__(self, event: ProgressEvent) -> None:
+        if event.kind == "shard-started" and not self.verbose:
+            return
+        eta = f"{event.eta_s:.0f}s" if event.eta_s is not None else "?"
+        line = (
+            f"[engine] {event.kind:<14} {event.plan_label} "
+            f"shard {event.shard_index + 1}/{event.shard_count} | "
+            f"shards {event.shards_done}/{event.shards_total} | "
+            f"cycles {event.cycles_done}/{event.cycles_total} | "
+            f"{event.cycles_per_sec:.2f} cycles/s | ETA {eta}"
+        )
+        if event.detail:
+            line += f" | {event.detail}"
+        print(line, file=self.stream)
+        self.stream.flush()

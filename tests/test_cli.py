@@ -38,6 +38,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--sequence", "XAX"])
 
+    def test_campaign_engine_flags(self):
+        args = build_parser().parse_args(["campaign", "--jobs", "4"])
+        assert args.jobs == 4
+        assert args.shard_faults == 2  # fixed shard plan, independent of jobs
+        assert build_parser().parse_args(["campaign"]).jobs == 1
+
+    def test_fleet_jobs_flag(self):
+        assert build_parser().parse_args(["fleet", "--jobs", "2"]).jobs == 2
+        assert build_parser().parse_args(["fleet"]).jobs == 1
+
     def test_discharge_load_flags(self):
         assert build_parser().parse_args(["discharge"]).load is True
         assert build_parser().parse_args(["discharge", "--no-load"]).load is False
@@ -74,6 +84,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "campaign summary" in out
         assert "loss_per_fault" in out
+
+    def test_campaign_parallel_matches_serial(self, capsys):
+        argv = [
+            "campaign",
+            "--device",
+            "ssd-a",
+            "--faults",
+            "2",
+            "--wss-gib",
+            "4",
+            "--shard-faults",
+            "1",
+        ]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # The summary table (failure counts included) must be identical.
+        assert serial_out.split("campaign summary")[1] == (
+            parallel_out.split("campaign summary")[1]
+        )
 
     def test_post_ack_bad_intervals(self, capsys):
         assert main(["post-ack", "--intervals", "abc"]) == 2

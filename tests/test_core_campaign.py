@@ -116,6 +116,39 @@ class TestResults:
         for key in ("faults", "data_failures", "fwa", "io_errors", "loss_per_fault"):
             assert key in summary
 
+    def test_clone_copies_every_field(self):
+        import dataclasses
+
+        r = CampaignResult(label="x")
+        r.add_cycle(self.cycle())
+        r.traffic_time_us = 123
+        r.requests_issued = 456
+        clone = r.clone()
+        assert dataclasses.asdict(clone) == dataclasses.asdict(r)
+
+    def test_clone_is_independent(self):
+        r = CampaignResult(label="x")
+        r.add_cycle(self.cycle())
+        clone = r.clone(label="y")
+        clone.add_cycle(self.cycle(1))
+        assert r.faults == 1
+        assert clone.faults == 2
+        assert clone.label == "y"
+        assert r.label == "x"
+
+    def test_merged_preserves_scalar_fields(self):
+        a = CampaignResult(label="a")
+        a.add_cycle(self.cycle(0))
+        a.traffic_time_us = 10
+        a.requests_issued = 100
+        b = CampaignResult(label="b")
+        b.add_cycle(self.cycle(1))
+        b.traffic_time_us = 5
+        b.requests_issued = 50
+        merged = a.merged_with(b)
+        assert merged.traffic_time_us == 15
+        assert merged.requests_issued == 150
+
 
 class TestCalibrationRegistry:
     def test_every_anchor_names_paper_and_consumer(self):
@@ -171,6 +204,15 @@ class TestCampaignEndToEnd:
         result = Campaign(platform, CampaignConfig(faults=3)).run()
         assert result.total_data_loss == 0
         assert result.io_errors > 0  # device unavailability still bites
+
+    def test_traffic_time_defined_before_run(self):
+        # A partially-run (or never-run) campaign object must have a
+        # defined traffic-time accumulator, not a getattr fallback.
+        campaign = Campaign(self.small_platform())
+        assert campaign._traffic_time == 0
+        campaign._accumulate_traffic_time(250)
+        campaign._accumulate_traffic_time(-10)  # clamped, never negative
+        assert campaign._traffic_time == 250
 
     def test_campaign_config_validation(self):
         with pytest.raises(CampaignError):

@@ -77,10 +77,16 @@ class TestDischargeCapture:
 
 class TestRegistry:
     def test_every_experiment_has_bench(self):
-        import os
-
         for exp_id, bench in EXPERIMENTS.items():
             assert bench.startswith("benchmarks/"), exp_id
+
+    def test_registry_files_exist(self):
+        # Drift guard: every registry entry must point at a real bench file.
+        import pathlib
+
+        repo_root = pathlib.Path(__file__).resolve().parent.parent
+        for exp_id, bench in EXPERIMENTS.items():
+            assert (repo_root / bench).is_file(), f"{exp_id} -> {bench} missing"
 
     def test_expected_experiments_present(self):
         for key in (

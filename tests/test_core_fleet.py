@@ -65,6 +65,29 @@ class TestRunFleet:
         with pytest.raises(CampaignError):
             run_fleet({"x": small_config("x")}, spec, faults=0)
 
+    def test_parallel_fleet_matches_serial(self):
+        spec = WorkloadSpec(wss_bytes=1 * GIB, outstanding=8)
+        configs = {
+            "dev-a": small_config("dev-a"),
+            "dev-b": small_config("dev-b"),
+        }
+        serial = run_fleet(configs, spec, faults=2, base_seed=7)
+        parallel = run_fleet(configs, spec, faults=2, base_seed=7, jobs=2)
+        assert {n: r.summary() for n, r in serial.items()} == {
+            n: r.summary() for n, r in parallel.items()
+        }
+
+    def test_sharded_fleet_keeps_budget(self):
+        spec = WorkloadSpec(wss_bytes=1 * GIB, outstanding=8)
+        results = run_fleet(
+            {"dev-a": small_config("dev-a")},
+            spec,
+            faults=3,
+            base_seed=5,
+            shard_faults=2,
+        )
+        assert results["dev-a"].faults == 3
+
 
 class TestMergeAndRank:
     def test_merge_units_into_models(self):

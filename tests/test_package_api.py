@@ -34,6 +34,7 @@ SUBPACKAGES = [
     "repro.trace",
     "repro.workload",
     "repro.core",
+    "repro.engine",
     "repro.analysis",
     "repro.fs",
     "repro.raid",
@@ -58,6 +59,7 @@ DOCTEST_MODULES = [
     "repro.nand.ecc",
     "repro.nand.rs_codec",
     "repro.nand.threshold",
+    "repro.engine.plan",
     "repro.ftl.mapping",
     "repro.ftl.extent_mapping",
     "repro.ftl.wear",
