@@ -20,11 +20,19 @@ workers executed them.  Campaigns of ``<= BENCH_SHARD_FAULTS`` faults
 (every family at the default smoke scale) are a single shard seeded
 exactly like the legacy serial runner, so historical numbers are
 unchanged.
+
+Fault tolerance: campaigns run under the engine's shard supervisor.
+``REPRO_BENCH_MAX_RETRIES`` bounds per-shard retries (default 2),
+``REPRO_BENCH_SHARD_TIMEOUT`` (seconds) arms the wedged-worker timeout,
+and ``REPRO_BENCH_CHECKPOINT`` names a directory of per-campaign shard
+journals so a killed paper-scale sweep resumes instead of restarting —
+none of these affect result numbers (retried shards are deterministic).
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core import calibration
@@ -48,6 +56,38 @@ faults split into 8-32 parallelisable shards)."""
 def bench_jobs() -> int:
     """Engine worker count from the environment (default serial)."""
     return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_shard_timeout() -> Optional[float]:
+    """Per-shard timeout in seconds (``REPRO_BENCH_SHARD_TIMEOUT``, off by default)."""
+    raw = os.environ.get("REPRO_BENCH_SHARD_TIMEOUT")
+    return float(raw) if raw else None
+
+
+def bench_max_retries() -> int:
+    """Retry budget per shard (``REPRO_BENCH_MAX_RETRIES``, default 2)."""
+    return max(0, int(os.environ.get("REPRO_BENCH_MAX_RETRIES", "2")))
+
+
+def bench_checkpoint_dir() -> Optional[str]:
+    """Journal directory for paper-scale runs (``REPRO_BENCH_CHECKPOINT``).
+
+    When set, every bench campaign journals its shards to
+    ``<dir>/<label-slug>.jsonl`` and transparently resumes from it, so a
+    killed paper-scale sweep (`REPRO_BENCH_SCALE=1.0` is hours of work)
+    restarts from the last committed shard instead of from zero.
+    """
+    return os.environ.get("REPRO_BENCH_CHECKPOINT") or None
+
+
+def _checkpoint_path(label: str) -> Optional[str]:
+    directory = bench_checkpoint_dir()
+    if directory is None:
+        return None
+    slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in label) or "campaign"
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    return str(path / f"{slug}.jsonl")
 
 
 def fault_budget(experiment_key: str) -> int:
@@ -79,7 +119,15 @@ def run_campaign(
         label=label or spec.describe(),
         shard_faults=BENCH_SHARD_FAULTS,
     )
-    return run_plan(plan, jobs=jobs)
+    checkpoint = _checkpoint_path(plan.label)
+    return run_plan(
+        plan,
+        jobs=jobs,
+        checkpoint=checkpoint,
+        resume=checkpoint is not None,
+        max_retries=bench_max_retries(),
+        shard_timeout_s=bench_shard_timeout(),
+    )
 
 
 def print_banner(title: str, anchor_keys: List[str]) -> None:

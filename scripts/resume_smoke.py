@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""End-to-end resume-after-interrupt smoke test (used by CI).
+
+Starts a checkpointed parallel campaign with artificially slow shards,
+SIGTERMs it once the journal has committed at least one shard, resumes it,
+and asserts the resumed summary table is byte-identical to an
+uninterrupted serial run of the same plan — the engine's headline
+crash-safety guarantee.
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/resume_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ARGS = [
+    "campaign",
+    "--faults", "6",
+    "--shard-faults", "1",
+    "--wss-gib", "4",
+]
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(args, env):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+
+
+def summary_table(stdout):
+    return [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.startswith("running ")
+    ]
+
+
+def main():
+    env = cli_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "ck.jsonl"
+
+        slow_env = dict(env)
+        slow_env[FAULT_ENV] = "slow:*:*:0.8"  # widen the interrupt window
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *ARGS,
+             "--jobs", "2", "--checkpoint", str(checkpoint)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=slow_env,
+        )
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline and proc.poll() is None:
+            if checkpoint.exists() and checkpoint.stat().st_size > 0:
+                break
+            time.sleep(0.1)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        try:
+            _, err = proc.communicate(timeout=300)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.communicate()
+            print("FAIL: interrupted campaign did not exit after SIGTERM")
+            return 1
+
+        if proc.returncode == 130:
+            print(f"interrupted mid-run (exit 130): {err.strip().splitlines()[-1]}")
+        elif proc.returncode == 0:
+            print("campaign finished before the signal landed; resume is a no-op run")
+        else:
+            print(f"FAIL: unexpected exit {proc.returncode}\n{err}")
+            return 1
+
+        resumed = run_cli(
+            ARGS + ["--jobs", "2", "--checkpoint", str(checkpoint), "--resume"], env
+        )
+        if resumed.returncode != 0:
+            print(f"FAIL: resume exited {resumed.returncode}\n{resumed.stderr}")
+            return 1
+        print(f"resume: {resumed.stderr.strip() or '(no shards needed resuming)'}")
+
+        baseline = run_cli(ARGS + ["--jobs", "1"], env)
+        if baseline.returncode != 0:
+            print(f"FAIL: baseline exited {baseline.returncode}\n{baseline.stderr}")
+            return 1
+
+        if summary_table(resumed.stdout) != summary_table(baseline.stdout):
+            print("FAIL: resumed summary differs from uninterrupted serial run")
+            print("--- resumed ---")
+            print(resumed.stdout)
+            print("--- baseline ---")
+            print(baseline.stdout)
+            return 1
+
+    print("OK: resumed campaign matches uninterrupted run exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

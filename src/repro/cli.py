@@ -24,9 +24,43 @@ from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.experiment import run_discharge_capture, run_post_ack_sweep
 from repro.core.platform import TestPlatform
 from repro.engine import CampaignPlan, ConsoleProgress, DEFAULT_SHARD_FAULTS, run_plan
+from repro.errors import CampaignInterrupted
 from repro.ssd import models
 from repro.units import GIB, KIB
 from repro.workload.spec import AccessPattern, WorkloadSpec
+
+
+def _add_fault_tolerance_flags(command: argparse.ArgumentParser) -> None:
+    """Shared engine fault-tolerance/resume flags (campaign + fleet)."""
+    command.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write-ahead shard journal; a killed run restarts with --resume",
+    )
+    command.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already journaled in --checkpoint (same plan only)",
+    )
+    command.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retry budget per shard before it is quarantined (default 2)",
+    )
+    command.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="exit 0 even when shards were quarantined (default: exit 1)",
+    )
+    command.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry a shard running longer than this (needs --jobs > 1)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--progress", action="store_true", help="print engine shard telemetry to stderr"
     )
+    _add_fault_tolerance_flags(campaign)
 
     discharge = sub.add_parser("discharge", help="capture the Fig. 4 PSU waveform")
     group = discharge.add_mutually_exclusive_group()
@@ -100,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes; the fleet's per-device shards run concurrently",
     )
+    _add_fault_tolerance_flags(fleet)
 
     replay = sub.add_parser(
         "replay", help="replay a captured trace against a device, optionally with a fault"
@@ -153,6 +189,36 @@ def _spec_from_args(args: argparse.Namespace) -> WorkloadSpec:
     )
 
 
+def _engine_kwargs(args: argparse.Namespace) -> dict:
+    """Supervisor options shared by ``campaign`` and ``fleet``.
+
+    The supervisor always quarantines (the campaign must complete and
+    report); ``--quarantine`` only decides the process exit code.
+    """
+    return {
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+        "max_retries": args.max_retries,
+        "shard_timeout_s": args.shard_timeout,
+        "quarantine": True,
+    }
+
+
+def _report_execution(result) -> None:
+    """One stderr line of degraded-run accounting, when there is any."""
+    stats = result.execution
+    if not (stats.shards_resumed or stats.retries or stats.shards_quarantined):
+        return
+    line = (
+        f"[engine] {result.label}: {stats.shards_completed} shards executed, "
+        f"{stats.shards_resumed} resumed from checkpoint, {stats.retries} retries, "
+        f"{stats.shards_quarantined} quarantined"
+    )
+    if stats.quarantined:
+        line += f" ({', '.join(stats.quarantined)})"
+    print(line, file=sys.stderr)
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     plan = CampaignPlan(
         spec=_spec_from_args(args),
@@ -166,7 +232,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"({plan.shard_count()} shards, jobs={args.jobs}) ..."
     )
     progress = ConsoleProgress() if args.progress else None
-    result = run_plan(plan, jobs=args.jobs, progress=progress)
+    result = run_plan(plan, jobs=args.jobs, progress=progress, **_engine_kwargs(args))
     if args.per_cycle:
         print(
             ascii_table(
@@ -185,6 +251,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             title="campaign summary",
         )
     )
+    _report_execution(result)
+    if result.execution.shards_quarantined and not args.quarantine:
+        return 1
     return 0
 
 
@@ -253,6 +322,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         progress=lambda name, result: print(
             f"  {name}: {result.total_data_loss} data loss over {result.faults} faults"
         ),
+        **_engine_kwargs(args),
     )
     merged = merge_by_model(results)
     print()
@@ -273,6 +343,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             title="Table I population, merged per model, worst first",
         )
     )
+    quarantined = sum(r.execution.shards_quarantined for r in results.values())
+    for result in results.values():
+        _report_execution(result)
+    if quarantined and not args.quarantine:
+        return 1
     return 0
 
 
@@ -332,8 +407,24 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success; 1 shards quarantined without ``--quarantine``;
+    2 usage error; 130 interrupted (SIGINT/SIGTERM — with ``--checkpoint``
+    the journal is flushed and the run restarts with ``--resume``).
+    """
     args = build_parser().parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        print("--resume requires --checkpoint PATH", file=sys.stderr)
+        return 2
+    try:
+        return _dispatch(args)
+    except CampaignInterrupted as exc:
+        print(f"[engine] {exc}", file=sys.stderr)
+        return 130
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list-devices":
         return _cmd_list_devices()
     if args.command == "campaign":

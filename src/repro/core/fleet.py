@@ -79,6 +79,11 @@ def run_fleet(
     jobs: Optional[int] = None,
     shard_faults: Optional[int] = None,
     executor=None,
+    checkpoint=None,
+    resume: bool = False,
+    max_retries: Optional[int] = None,
+    shard_timeout_s: Optional[float] = None,
+    quarantine: bool = False,
 ) -> Dict[str, CampaignResult]:
     """One campaign per device through the execution engine.
 
@@ -87,6 +92,14 @@ def run_fleet(
     executes the fleet's shards on a process pool; results are identical
     to ``jobs=1`` because the plans (and their shard seeds) don't depend
     on the executor.
+
+    Fault tolerance: ``checkpoint``/``resume`` journal the whole fleet in
+    one write-ahead file (records are keyed per plan, so a resumed fleet
+    skips exactly the devices/shards that already committed);
+    ``max_retries``/``shard_timeout_s``/``quarantine`` configure the shard
+    supervisor — with quarantine on, a poisoned shard degrades one
+    device's result (see ``result.execution``) instead of killing the
+    whole fleet.
     """
     from repro.engine import run_plans
 
@@ -106,7 +119,17 @@ def run_fleet(
         if progress is not None:
             progress(name, result)
 
-    run_plans(plans, executor=executor, jobs=jobs, on_plan_done=_plan_done)
+    run_plans(
+        plans,
+        executor=executor,
+        jobs=jobs,
+        on_plan_done=_plan_done,
+        checkpoint=checkpoint,
+        resume=resume,
+        max_retries=max_retries,
+        shard_timeout_s=shard_timeout_s,
+        quarantine=quarantine,
+    )
     return {plan.label: results[plan.label] for plan in plans}
 
 

@@ -32,6 +32,59 @@ class FaultCycleResult:
 
 
 @dataclass
+class ExecutionStats:
+    """How a campaign's shards were *executed* (degraded-run accounting).
+
+    Simulation outcomes (cycles, failure counts) are deterministic in the
+    plan; execution is not — workers crash, time out, get retried, shards
+    may be loaded from a checkpoint or quarantined.  This record keeps that
+    operational story separate from :meth:`CampaignResult.summary`, so a
+    resumed or retried run still produces *identical* result numbers while
+    remaining auditable.
+    """
+
+    shards_completed: int = 0
+    shards_resumed: int = 0
+    shards_quarantined: int = 0
+    retries: int = 0
+    attempts: List[int] = field(default_factory=list)
+    quarantined: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any shard was lost to quarantine."""
+        return self.shards_quarantined > 0
+
+    def copy(self) -> "ExecutionStats":
+        """Independent copy (fresh lists)."""
+        dup = replace(self)
+        dup.attempts = list(self.attempts)
+        dup.quarantined = list(self.quarantined)
+        return dup
+
+    def merged_with(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Combine accounting of two merged campaigns."""
+        merged = self.copy()
+        merged.shards_completed += other.shards_completed
+        merged.shards_resumed += other.shards_resumed
+        merged.shards_quarantined += other.shards_quarantined
+        merged.retries += other.retries
+        merged.attempts.extend(other.attempts)
+        merged.quarantined.extend(other.quarantined)
+        return merged
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for console reporting."""
+        return {
+            "shards_completed": self.shards_completed,
+            "shards_resumed": self.shards_resumed,
+            "shards_quarantined": self.shards_quarantined,
+            "retries": self.retries,
+            "quarantined": list(self.quarantined),
+        }
+
+
+@dataclass
 class CampaignResult:
     """Aggregated outcome of a whole campaign."""
 
@@ -39,6 +92,7 @@ class CampaignResult:
     cycles: List[FaultCycleResult] = field(default_factory=list)
     traffic_time_us: int = 0
     requests_issued: int = 0
+    execution: ExecutionStats = field(default_factory=ExecutionStats)
 
     # -- accumulation ---------------------------------------------------------------
 
@@ -131,6 +185,7 @@ class CampaignResult:
         """
         copy = replace(self, label=self.label if label is None else label)
         copy.cycles = list(self.cycles)
+        copy.execution = self.execution.copy()
         return copy
 
     def merged_with(self, other: "CampaignResult") -> "CampaignResult":
@@ -139,4 +194,5 @@ class CampaignResult:
         merged.cycles = list(self.cycles) + list(other.cycles)
         merged.traffic_time_us = self.traffic_time_us + other.traffic_time_us
         merged.requests_issued = self.requests_issued + other.requests_issued
+        merged.execution = self.execution.merged_with(other.execution)
         return merged

@@ -7,14 +7,19 @@ this layer:
    policy + label);
 2. the plan splits its fault budget into deterministic shards
    (:meth:`CampaignPlan.shards`);
-3. an executor (:class:`SerialExecutor` or the process-pool
-   :class:`ParallelExecutor`) runs the shards;
+3. the fault-tolerant :class:`~repro.engine.supervisor.ShardSupervisor`
+   runs the shards (bounded retries with backoff, timeout-triggered pool
+   rebuild, poison-shard quarantine, optional write-ahead checkpoint
+   journal with resume, graceful SIGINT/SIGTERM);
 4. shard results merge in shard order via
-   :meth:`~repro.core.results.CampaignResult.merged_with`.
+   :meth:`~repro.core.results.CampaignResult.merged_with`, with execution
+   accounting attached as
+   :class:`~repro.core.results.ExecutionStats`.
 
 Because the shard decomposition and per-shard seeds depend only on the
-plan, the merged result is identical for any executor and worker count —
-``run_plan(plan, jobs=1)`` and ``run_plan(plan, jobs=16)`` agree exactly.
+plan, the merged result is identical for any executor, worker count,
+retry pattern, or checkpoint/resume split — ``run_plan(plan, jobs=1)``
+and a killed-and-resumed ``run_plan(plan, jobs=16)`` agree exactly.
 
 Example
 -------
@@ -27,9 +32,16 @@ Example
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Union
 
-from repro.core.results import CampaignResult
+from repro.core.results import CampaignResult, ExecutionStats
+from repro.engine.checkpoint import (
+    CheckpointJournal,
+    load_resume_state,
+    plans_fingerprint,
+    ResumeState,
+)
 from repro.engine.executors import (
     make_executor,
     ParallelExecutor,
@@ -49,8 +61,38 @@ from repro.engine.progress import (
     ProgressEvent,
     ProgressHook,
 )
+from repro.engine.supervisor import RetryPolicy, ShardRun, ShardSupervisor
+from repro.errors import CampaignError
 
 PlanDoneHook = Callable[[int, CampaignResult], None]
+
+
+def _merge_plan_runs(plan: CampaignPlan, ordered_runs: List[ShardRun]) -> CampaignResult:
+    """Fold one plan's shard runs into a merged result + execution stats.
+
+    Quarantined shards contribute no cycles (the merged result is
+    *degraded*, and says so through ``result.execution``); a plan whose
+    every shard was quarantined still completes, as an empty result.
+    """
+    completed = tuple(run.result for run in ordered_runs if run.result is not None)
+    if completed:
+        merged = merge_shard_results(plan, completed)
+    else:
+        merged = CampaignResult(label=plan.display_label())
+    stats = ExecutionStats()
+    for index, run in enumerate(ordered_runs):
+        stats.attempts.append(run.attempts)
+        stats.retries += max(0, run.attempts - 1)
+        if run.status == "resumed":
+            stats.shards_resumed += 1
+            stats.retries -= max(0, run.attempts - 1)  # not retried *this* run
+        elif run.status == "quarantined":
+            stats.shards_quarantined += 1
+            stats.quarantined.append(f"{plan.display_label()}#s{index}")
+        else:
+            stats.shards_completed += 1
+    merged.execution = stats
+    return merged
 
 
 def run_plans(
@@ -59,18 +101,68 @@ def run_plans(
     jobs: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
     on_plan_done: Optional[PlanDoneHook] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    max_retries: Optional[int] = None,
+    shard_timeout_s: Optional[float] = None,
+    quarantine: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> List[CampaignResult]:
-    """Execute several plans through one executor, merging per plan.
+    """Execute several plans through one supervised executor, merging per plan.
 
-    Shards of all plans form a single work queue, so a parallel executor
+    Shards of all plans form a single work queue, so a parallel run
     overlaps shards *across* plans (a fleet of six one-shard devices keeps
     six workers busy).  Results come back in plan order; ``on_plan_done``
-    fires as soon as each plan's last shard has merged — for serial
-    executors that is progressive, matching the legacy fleet progress
-    callback semantics.
+    fires as soon as each plan's last shard has merged.
+
+    Fault tolerance (default path, ``executor=None``): shards are executed
+    by a :class:`ShardSupervisor` with ``max_retries`` bounded retries and
+    exponential backoff, per-shard ``shard_timeout_s`` enforcement (pool
+    kill-and-rebuild), and — with ``quarantine=True`` — poison-shard
+    quarantine instead of :class:`~repro.errors.ShardFailureError`.
+    ``checkpoint`` names a write-ahead journal file; with ``resume=True``
+    shards already journaled for this exact plan batch are loaded instead
+    of re-executed, which yields a merged result identical to an
+    uninterrupted run.  Passing an explicit ``executor`` bypasses all
+    supervision options (combining them is an error).
     """
+    supervision_requested = (
+        checkpoint is not None
+        or resume
+        or max_retries is not None
+        or shard_timeout_s is not None
+        or quarantine
+        or retry_policy is not None
+    )
+    if executor is not None and supervision_requested:
+        raise CampaignError(
+            "pass either an explicit executor or supervision options, not both"
+        )
+    journal: Optional[CheckpointJournal] = None
     if executor is None:
-        executor = make_executor(jobs)
+        if resume and checkpoint is None:
+            raise CampaignError("resume requires a checkpoint path")
+        policy = retry_policy
+        if policy is None:
+            policy = (
+                RetryPolicy(max_retries=max_retries)
+                if max_retries is not None
+                else RetryPolicy()
+            )
+        resume_state: Optional[ResumeState] = None
+        if checkpoint is not None:
+            fingerprint = plans_fingerprint(plans)
+            if resume:
+                resume_state = load_resume_state(checkpoint, fingerprint)
+            journal = CheckpointJournal(checkpoint, fingerprint)
+        executor = ShardSupervisor(
+            jobs=jobs if jobs is not None else 1,
+            shard_timeout_s=shard_timeout_s,
+            policy=policy,
+            journal=journal,
+            resume=resume_state,
+            quarantine_enabled=quarantine,
+        )
     tasks: List[ShardTask] = [
         (plan_index, plan, shard)
         for plan_index, plan in enumerate(plans)
@@ -81,19 +173,28 @@ def run_plans(
         cycles_total=sum(shard.faults for _, _, shard in tasks),
         hook=progress,
     )
-    shard_results: List[dict] = [{} for _ in plans]
+    shard_runs: List[dict] = [{} for _ in plans]
     merged: List[Optional[CampaignResult]] = [None for _ in plans]
-    for (plan_index, shard_index), result in executor.execute(tasks, telemetry):
-        plan = plans[plan_index]
-        shard_results[plan_index][shard_index] = result
-        if len(shard_results[plan_index]) == plan.shard_count():
-            ordered = tuple(
-                shard_results[plan_index][i] for i in range(plan.shard_count())
+    try:
+        for (plan_index, shard_index), value in executor.execute(tasks, telemetry):
+            run = (
+                value
+                if isinstance(value, ShardRun)
+                else ShardRun(result=value, attempts=1, status="completed")
             )
-            merged[plan_index] = merge_shard_results(plan, ordered)
-            telemetry.plan_finished(plan.display_label(), plan.shard_count())
-            if on_plan_done is not None:
-                on_plan_done(plan_index, merged[plan_index])
+            plan = plans[plan_index]
+            shard_runs[plan_index][shard_index] = run
+            if len(shard_runs[plan_index]) == plan.shard_count():
+                ordered = [
+                    shard_runs[plan_index][i] for i in range(plan.shard_count())
+                ]
+                merged[plan_index] = _merge_plan_runs(plan, ordered)
+                telemetry.plan_finished(plan.display_label(), plan.shard_count())
+                if on_plan_done is not None:
+                    on_plan_done(plan_index, merged[plan_index])
+    finally:
+        if journal is not None:
+            journal.close()
     missing = [index for index, result in enumerate(merged) if result is None]
     if missing:
         raise RuntimeError(f"executor returned no result for plans {missing}")
@@ -105,24 +206,49 @@ def run_plan(
     executor=None,
     jobs: Optional[int] = None,
     progress: Optional[ProgressHook] = None,
+    checkpoint: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    max_retries: Optional[int] = None,
+    shard_timeout_s: Optional[float] = None,
+    quarantine: bool = False,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Execute one plan and return its merged campaign result."""
-    return run_plans([plan], executor=executor, jobs=jobs, progress=progress)[0]
+    return run_plans(
+        [plan],
+        executor=executor,
+        jobs=jobs,
+        progress=progress,
+        checkpoint=checkpoint,
+        resume=resume,
+        max_retries=max_retries,
+        shard_timeout_s=shard_timeout_s,
+        quarantine=quarantine,
+        retry_policy=retry_policy,
+    )[0]
 
 
 __all__ = [
     "CampaignPlan",
+    "CheckpointJournal",
     "ConsoleProgress",
     "DEFAULT_SHARD_FAULTS",
     "EngineTelemetry",
+    "ExecutionStats",
     "ParallelExecutor",
     "ProgressEvent",
     "ProgressHook",
+    "ResumeState",
+    "RetryPolicy",
     "SerialExecutor",
+    "ShardRun",
     "ShardSpec",
+    "ShardSupervisor",
     "derive_shard_seed",
+    "load_resume_state",
     "make_executor",
     "merge_shard_results",
+    "plans_fingerprint",
     "run_plan",
     "run_plans",
 ]

@@ -1,0 +1,258 @@
+"""Write-ahead shard-result journal (crash-safe campaign checkpoints).
+
+The engine applies the paper's own crash-consistency discipline to itself:
+every completed shard is committed to an **append-only JSONL journal**
+before the campaign moves on, so a killed multi-hour run restarts from the
+last durable shard instead of from zero.  The design mirrors
+:mod:`repro.ftl.journal`'s contract at the host level:
+
+- **append-only**: records are only ever appended; a resumed run keeps
+  appending to the same file (no rewrite, so there is no window in which
+  the journal itself can be lost);
+- **per-record checksums**: each line carries a CRC32 over its canonical
+  JSON payload, so torn or bit-flipped records are detected on replay;
+- **fsync on commit**: a record is flushed *and* fsync'd before the
+  supervisor reports the shard finished — an acknowledged shard is a
+  durable shard;
+- **torn-tail tolerant replay**: a partial or checksum-failing *final*
+  line (the crash-mid-append case) is silently discarded, exactly like a
+  torn journal transaction; corruption anywhere before the tail raises
+  :class:`~repro.errors.CheckpointError` because it means the file was
+  damaged, not torn.
+
+Records are keyed by ``(plan fingerprint, plan index, shard index)``.  The
+fingerprint hashes every plan field (workload spec, device config, fault
+budget, seeds, shard granularity), so a journal written for one campaign
+can never leak results into a different one: mismatched records are
+counted and ignored on replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Dict, IO, Optional, Sequence, Tuple, Union
+
+from repro.core.results import CampaignResult, FaultCycleResult
+from repro.errors import CheckpointError
+
+PathLike = Union[str, Path]
+ShardKey = Tuple[int, int]
+
+JOURNAL_VERSION = 1
+
+
+# -- lossless CampaignResult codec --------------------------------------------------
+#
+# ``repro.analysis.export`` serialises for *plotting* (it includes derived
+# summaries and may drop bookkeeping fields); the journal must round-trip
+# exactly, so it walks dataclass fields — a field added to
+# ``FaultCycleResult`` is carried automatically.
+
+
+def result_to_record(result: CampaignResult) -> Dict:
+    """JSON-safe, field-complete dump of one shard's result."""
+    return {
+        "label": result.label,
+        "traffic_time_us": result.traffic_time_us,
+        "requests_issued": result.requests_issued,
+        "cycles": [
+            {f.name: getattr(cycle, f.name) for f in fields(FaultCycleResult)}
+            for cycle in result.cycles
+        ],
+    }
+
+
+def result_from_record(record: Dict) -> CampaignResult:
+    """Rebuild a shard result from :func:`result_to_record` output."""
+    try:
+        result = CampaignResult(
+            label=record["label"],
+            traffic_time_us=record["traffic_time_us"],
+            requests_issued=record["requests_issued"],
+        )
+        for cycle in record["cycles"]:
+            result.add_cycle(FaultCycleResult(**cycle))
+    except (KeyError, TypeError) as exc:
+        raise CheckpointError(f"malformed shard result record: {exc!r}") from exc
+    return result
+
+
+# -- fingerprints -------------------------------------------------------------------
+
+
+def plans_fingerprint(plans: Sequence) -> str:
+    """Stable fingerprint of an ordered plan batch.
+
+    Combines each plan's own :meth:`CampaignPlan.fingerprint`; resume is
+    only valid against the byte-identical campaign definition in the same
+    plan order (plan index is part of every record's key).
+    """
+    blob = "|".join(plan.fingerprint() for plan in plans)
+    return f"{zlib.crc32(blob.encode('utf-8')):08x}-{len(plans)}"
+
+
+# -- journal records ----------------------------------------------------------------
+
+
+def _canonical(payload: Dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _encode_line(payload: Dict) -> str:
+    crc = zlib.crc32(_canonical(payload).encode("utf-8"))
+    record = dict(payload)
+    record["crc"] = crc
+    return _canonical(record)
+
+
+def _decode_line(line: str) -> Dict:
+    """Parse + checksum-verify one journal line (raises on any damage)."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise CheckpointError("journal line is not an object")
+    crc = record.pop("crc", None)
+    if crc != zlib.crc32(_canonical(record).encode("utf-8")):
+        raise CheckpointError("journal record checksum mismatch")
+    return record
+
+
+class CheckpointJournal:
+    """Append-side of the shard journal (one campaign run, one writer).
+
+    The file handle opens lazily on first commit, in append mode, so
+    pointing ``--checkpoint`` at an existing journal resumes *and* extends
+    it.  Every append is flushed and fsync'd before returning.
+    """
+
+    def __init__(self, path: PathLike, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.records_written = 0
+        self._handle: Optional[IO[str]] = None
+
+    def _append(self, payload: Dict) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(_encode_line(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records_written += 1
+
+    def append_shard(
+        self,
+        plan_index: int,
+        shard_index: int,
+        result: CampaignResult,
+        attempts: int,
+        label: str = "",
+    ) -> None:
+        """Durably commit one completed shard result."""
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "kind": "shard",
+                "fp": self.fingerprint,
+                "plan": plan_index,
+                "shard": shard_index,
+                "attempts": attempts,
+                "label": label,
+                "result": result_to_record(result),
+            }
+        )
+
+    def append_quarantine(
+        self, plan_index: int, shard_index: int, attempts: int, reason: str
+    ) -> None:
+        """Record a quarantined shard (audit only — replay re-attempts it)."""
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "kind": "quarantine",
+                "fp": self.fingerprint,
+                "plan": plan_index,
+                "shard": shard_index,
+                "attempts": attempts,
+                "reason": reason,
+            }
+        )
+
+    def close(self) -> None:
+        """Flush and release the file handle (appends may resume later)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- replay -------------------------------------------------------------------------
+
+
+@dataclass
+class ResumeState:
+    """Everything replayed from a journal for one campaign fingerprint.
+
+    ``results``/``attempts`` are keyed by ``(plan index, shard index)``.
+    Duplicate keys keep the *latest* record (a shard re-executed by a later
+    run supersedes the earlier commit).  Quarantine records are counted but
+    deliberately do not mark a shard done — a resumed run gives poisoned
+    shards a fresh retry budget.
+    """
+
+    results: Dict[ShardKey, CampaignResult] = field(default_factory=dict)
+    attempts: Dict[ShardKey, int] = field(default_factory=dict)
+    mismatched: int = 0
+    quarantine_records: int = 0
+    dropped_tail: bool = False
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def load_resume_state(path: PathLike, fingerprint: str) -> ResumeState:
+    """Replay a journal, tolerating a torn tail.
+
+    A missing file is an empty state (first run).  A record that fails to
+    parse or checksum is discarded if it is the final non-blank line
+    (crash mid-append), and raises :class:`CheckpointError` otherwise.
+    """
+    state = ResumeState()
+    journal_path = Path(path)
+    if not journal_path.exists():
+        return state
+    lines = journal_path.read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for index, line in enumerate(lines):
+        if not line.strip():
+            raise CheckpointError(f"blank journal line {index + 1} before tail")
+        try:
+            record = _decode_line(line)
+        except (CheckpointError, ValueError) as exc:
+            if index == len(lines) - 1:
+                state.dropped_tail = True
+                break
+            raise CheckpointError(
+                f"corrupt journal record at line {index + 1} of {journal_path}"
+            ) from exc
+        if record.get("fp") != fingerprint:
+            state.mismatched += 1
+            continue
+        if record.get("kind") == "quarantine":
+            state.quarantine_records += 1
+            continue
+        if record.get("kind") != "shard":
+            continue
+        key = (record["plan"], record["shard"])
+        state.results[key] = result_from_record(record["result"])
+        state.attempts[key] = int(record.get("attempts", 1))
+    return state

@@ -14,23 +14,85 @@ back).  A per-shard timeout plus a retry-once fallback keeps one wedged or
 crashed worker from killing the whole campaign: the affected shard is
 re-run in-process, which yields the identical result because shard seeds
 are deterministic.
+
+For production fault tolerance — bounded retries with backoff, pool
+rebuild, quarantine, checkpointing — use
+:class:`repro.engine.supervisor.ShardSupervisor`, which replaces these
+executors on the default ``run_plans`` path.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Iterator, List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.results import CampaignResult
 from repro.engine.plan import CampaignPlan, ShardSpec
 from repro.engine.progress import EngineTelemetry
+from repro.errors import CampaignError
 
 ShardTask = Tuple[int, CampaignPlan, ShardSpec]
 ShardKey = Tuple[int, int]
 
+_POLL_INTERVAL_S = 0.05
 
-def _run_shard_task(plan: CampaignPlan, shard: ShardSpec) -> CampaignResult:
-    """Worker entry point (module-level so it pickles)."""
+TEST_FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+"""Injectable shard-failure fixture for the engine's own failure-path tests.
+
+Format: ``MODE:SHARD:ATTEMPTS[:SECONDS]`` where ``MODE`` is ``crash``
+(raise in the worker), ``exit`` (kill the worker process, breaking the
+pool), ``hang`` (sleep ``SECONDS`` — default 30 — then raise), or ``slow``
+(sleep ``SECONDS`` then run normally); ``SHARD`` is a shard index or ``*``;
+``ATTEMPTS`` limits the fault to attempt numbers ``<= ATTEMPTS`` (``*`` =
+every attempt).  Workers inherit the environment, so the fixture reaches
+process-pool children without any plan plumbing.
+"""
+
+
+def _maybe_inject_test_fault(shard: ShardSpec, attempt: int) -> None:
+    spec = os.environ.get(TEST_FAULT_ENV)
+    if not spec:
+        return
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise CampaignError(
+            f"{TEST_FAULT_ENV} must be MODE:SHARD:ATTEMPTS[:SECONDS], got {spec!r}"
+        )
+    mode, which, upto = parts[0], parts[1], parts[2]
+    seconds = float(parts[3]) if len(parts) > 3 else 30.0
+    if which != "*" and int(which) != shard.index:
+        return
+    if upto != "*" and attempt > int(upto):
+        return
+    if mode == "crash":
+        raise RuntimeError(
+            f"injected crash (shard {shard.index}, attempt {attempt})"
+        )
+    if mode == "exit":
+        os._exit(13)
+    if mode == "hang":
+        time.sleep(seconds)
+        raise RuntimeError(
+            f"injected hang expired (shard {shard.index}, attempt {attempt})"
+        )
+    if mode == "slow":
+        time.sleep(seconds)
+        return
+    raise CampaignError(f"unknown {TEST_FAULT_ENV} mode {mode!r}")
+
+
+def _run_shard_task(
+    plan: CampaignPlan, shard: ShardSpec, attempt: int = 1
+) -> CampaignResult:
+    """Worker entry point (module-level so it pickles).
+
+    ``attempt`` only feeds the injectable test-fault fixture — it never
+    touches the simulation, whose seed is fixed by the shard spec, so a
+    retried shard reproduces the first attempt's result exactly.
+    """
+    _maybe_inject_test_fault(shard, attempt)
     return plan.run_shard(shard)
 
 
@@ -56,9 +118,11 @@ class ParallelExecutor:
 
     ``jobs`` defaults to the machine's CPU count.  ``shard_timeout_s``
     bounds how long the engine waits on any single shard once it becomes
-    the head of the merge order; on timeout (or on a worker exception /
-    broken pool) the shard is retried exactly once, in-process, before the
-    campaign is allowed to fail.
+    the head of the merge order; on timeout the wedged future is cancelled
+    and the shard is retried exactly once, in-process (likewise for a
+    worker exception or broken pool), before the campaign is allowed to
+    fail.  ``shard-started`` telemetry fires when a worker actually picks
+    a shard up (observed by polling), not at submit time.
     """
 
     def __init__(
@@ -75,33 +139,76 @@ class ParallelExecutor:
 
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, max(1, len(tasks))))
         futures: List = []
+        started: Set[ShardKey] = set()
+
+        def emit_new_starts() -> None:
+            """Report shards actually picked up by a worker since last poll."""
+            for (plan_index, plan, shard), future in zip(tasks, futures):
+                key = (plan_index, shard.index)
+                if key not in started and (future.running() or future.done()):
+                    started.add(key)
+                    telemetry.shard_started(
+                        plan.display_label(), shard.index, shard.count
+                    )
+
         try:
             for plan_index, plan, shard in tasks:
-                telemetry.shard_started(
-                    plan.display_label(), shard.index, shard.count
-                )
                 futures.append(pool.submit(_run_shard_task, plan, shard))
             for (plan_index, plan, shard), future in zip(tasks, futures):
+                key = (plan_index, shard.index)
                 label = plan.display_label()
                 try:
-                    result = future.result(timeout=self.shard_timeout_s)
+                    result = self._await(future, emit_new_starts)
                 except Exception as exc:  # timeout, worker crash, broken pool
+                    future.cancel()
+                    if key not in started:
+                        # The in-process retry is this shard's real start.
+                        started.add(key)
+                        telemetry.shard_started(label, shard.index, shard.count)
                     telemetry.shard_retried(
                         label, shard.index, shard.count, reason=repr(exc)
                     )
-                    result = _run_shard_task(plan, shard)
+                    result = _run_shard_task(plan, shard, attempt=2)
+                emit_new_starts()
                 telemetry.shard_finished(
                     label, shard.index, shard.count, shard.faults
                 )
-                yield (plan_index, shard.index), result
+                yield key, result
         finally:
             # Don't block on workers that may be wedged; abandoned shards
             # were already re-run in-process above.
             pool.shutdown(wait=False, cancel_futures=True)
 
+    def _await(self, future, emit_new_starts):
+        """Head-of-line wait: poll so pickups are observed, honour timeout."""
+        deadline = (
+            None
+            if self.shard_timeout_s is None
+            else time.monotonic() + self.shard_timeout_s
+        )
+        while True:
+            emit_new_starts()
+            wait_s = _POLL_INTERVAL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise FutureTimeoutError(
+                        f"shard exceeded timeout of {self.shard_timeout_s}s"
+                    )
+                wait_s = min(wait_s, remaining)
+            try:
+                return future.result(timeout=wait_s)
+            except FutureTimeoutError:
+                continue
 
-def make_executor(jobs: Optional[int] = None):
-    """Executor for a requested worker count (``None``/``0``/``1`` = serial)."""
+
+def make_executor(jobs: Optional[int] = None, shard_timeout_s: Optional[float] = None):
+    """Executor for a requested worker count (``None``/``0``/``1`` = serial).
+
+    ``shard_timeout_s`` bounds each shard's head-of-line wait on the
+    parallel path; it is ignored for serial execution (an in-process shard
+    cannot be preempted).
+    """
     if jobs is None or jobs <= 1:
         return SerialExecutor()
-    return ParallelExecutor(jobs=jobs)
+    return ParallelExecutor(jobs=jobs, shard_timeout_s=shard_timeout_s)

@@ -27,7 +27,9 @@ small base-seed strides) disjoint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
 from functools import reduce
 from typing import Optional, Tuple
 
@@ -134,6 +136,20 @@ class CampaignPlan:
             )
             for index in range(count)
         )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every plan field.
+
+        Checkpoint journal records are keyed by this (see
+        :mod:`repro.engine.checkpoint`), so shard results recorded for one
+        campaign definition can never be replayed into a different one.
+        Hashes canonical JSON of the dataclass tree — no salted ``hash()``,
+        stable across processes and Python versions.
+        """
+        blob = json.dumps(
+            asdict(self), sort_keys=True, default=str, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     def display_label(self) -> str:
         """Label of the merged result (falls back to the platform describe)."""

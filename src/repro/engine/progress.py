@@ -17,9 +17,16 @@ from typing import Callable, Optional, TextIO
 
 @dataclass(frozen=True)
 class ProgressEvent:
-    """One telemetry snapshot, emitted on every shard state change."""
+    """One telemetry snapshot, emitted on every shard state change.
 
-    kind: str  # "shard-started" | "shard-finished" | "shard-retried" | "plan-finished"
+    ``kind`` is one of ``shard-started`` (a worker actually picked the
+    shard up), ``shard-finished``, ``shard-retried``, ``shard-skipped``
+    (loaded from a checkpoint instead of executed), ``shard-quarantined``
+    (retry budget exhausted), ``checkpoint-written`` (shard committed to
+    the journal), or ``plan-finished``.
+    """
+
+    kind: str
     plan_label: str
     shard_index: int
     shard_count: int
@@ -55,6 +62,9 @@ class EngineTelemetry:
         self.shards_done = 0
         self.cycles_done = 0
         self.retries = 0
+        self.skipped = 0
+        self.quarantined = 0
+        self.checkpoints = 0
         self._hook = hook
         self._clock = clock
         self._start = clock()
@@ -85,7 +95,7 @@ class EngineTelemetry:
     # -- event entry points -------------------------------------------------------
 
     def shard_started(self, plan_label: str, index: int, count: int) -> None:
-        """A shard began executing (or was submitted to a worker)."""
+        """A shard began executing (a worker actually picked it up)."""
         self._emit("shard-started", plan_label, index, count)
 
     def shard_finished(
@@ -102,6 +112,28 @@ class EngineTelemetry:
         """A shard failed or timed out and is being retried in-process."""
         self.retries += 1
         self._emit("shard-retried", plan_label, index, count, detail=reason)
+
+    def shard_skipped(
+        self, plan_label: str, index: int, count: int, cycles: int
+    ) -> None:
+        """A shard was loaded from the checkpoint journal, not executed."""
+        self.shards_done += 1
+        self.cycles_done += cycles
+        self.skipped += 1
+        self._emit("shard-skipped", plan_label, index, count, detail="from checkpoint")
+
+    def shard_quarantined(
+        self, plan_label: str, index: int, count: int, reason: str
+    ) -> None:
+        """A shard exhausted its retry budget and was quarantined."""
+        self.shards_done += 1
+        self.quarantined += 1
+        self._emit("shard-quarantined", plan_label, index, count, detail=reason)
+
+    def checkpoint_written(self, plan_label: str, index: int, count: int) -> None:
+        """A shard result was durably committed to the journal."""
+        self.checkpoints += 1
+        self._emit("checkpoint-written", plan_label, index, count)
 
     def plan_finished(self, plan_label: str, shard_count: int) -> None:
         """Every shard of one plan has merged."""
@@ -143,8 +175,10 @@ class ConsoleProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.verbose = verbose
 
+    QUIET_KINDS = ("shard-started", "checkpoint-written")
+
     def __call__(self, event: ProgressEvent) -> None:
-        if event.kind == "shard-started" and not self.verbose:
+        if event.kind in self.QUIET_KINDS and not self.verbose:
             return
         eta = f"{event.eta_s:.0f}s" if event.eta_s is not None else "?"
         line = (

@@ -1,0 +1,464 @@
+"""Fault-tolerant shard supervision: retries, backoff, quarantine, resume.
+
+:class:`ShardSupervisor` is the production execution path of the engine
+(the default behind :func:`repro.engine.run_plans`).  Where the plain
+executors treat a failure as "retry once, in-process, and hope", the
+supervisor treats the campaign harness itself as a reliability-critical
+system — the same stance the paper takes toward SSD firmware:
+
+- **bounded retries with exponential backoff** — each failed shard is
+  retried up to :attr:`RetryPolicy.max_retries` times with exponentially
+  growing, deterministically jittered delays.  The jitter derives from the
+  shard seed and attempt number only; it never feeds the simulation, so
+  retried shards reproduce their first attempt's result bit-for-bit and
+  ``jobs=1`` / ``jobs=N`` determinism survives any failure pattern.
+- **true timeout enforcement** — a shard's clock starts when a worker is
+  *observed running* it (not at submit).  On expiry the wedged future is
+  cancelled and, since a running worker cannot be cancelled, the whole
+  pool is killed (worker processes terminated) and rebuilt; remaining
+  shards keep running on the fresh pool instead of silently degrading to
+  serial in-process execution.
+- **broken-pool recovery with isolation probing** — when a worker dies
+  (``BrokenProcessPool``) every pending future is lost and the culprit is
+  unknown, so nobody is charged an attempt; the pool is rebuilt and the
+  head shard is re-run *alone*.  Only a shard that fails in isolation has
+  its attempt count incremented, so a single poison shard cannot exhaust
+  innocent shards' retry budgets by repeatedly crashing shared pools.
+- **poison-shard quarantine** — a shard that exhausts its budget is
+  quarantined: the campaign completes, the shard is recorded in
+  :class:`~repro.core.results.ExecutionStats` (and the journal) instead of
+  crashing the fleet.  With ``quarantine_enabled=False`` (the library
+  default) the supervisor raises
+  :class:`~repro.errors.ShardFailureError` instead, because a silently
+  short merged result is worse than a loud failure.
+- **write-ahead checkpointing** — with a
+  :class:`~repro.engine.checkpoint.CheckpointJournal` attached, every
+  completed shard is fsync'd to the journal before it is reported
+  finished, and a :class:`~repro.engine.checkpoint.ResumeState` lets a
+  restarted campaign skip already-journaled shards entirely.
+- **graceful interrupt** — SIGINT/SIGTERM set a flag; at the next safe
+  point the supervisor kills the pool and raises
+  :class:`~repro.errors.CampaignInterrupted`.  Journal appends are
+  per-record durable, so everything acknowledged before the signal is
+  resumable.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.core.results import CampaignResult
+from repro.engine.checkpoint import CheckpointJournal, ResumeState
+from repro.engine.executors import ShardKey, ShardTask, _run_shard_task
+from repro.engine.progress import EngineTelemetry
+from repro.errors import CampaignInterrupted, ShardFailureError
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(a: int, b: int) -> int:
+    """SplitMix64-style avalanche of a pair (for backoff jitter only)."""
+    x = (int(a) ^ (int(b) * 0x9E3779B97F4A7C15)) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (x ^ (x >> 31)) & _MASK64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff schedule for one campaign run.
+
+    ``max_retries`` is the number of *re*-attempts after the first try
+    (budget of ``max_retries + 1`` attempts per shard).  Backoff for the
+    ``n``-th failure is ``base * factor**(n-1)`` capped at ``max_s``, then
+    shrunk by up to ``jitter_fraction`` using a deterministic hash of
+    ``(shard seed, attempt)`` — reproducible, desynchronised, and
+    guaranteed never to touch simulation seeds.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.25
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter_fraction: float = 0.5
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts allowed per shard."""
+        return self.max_retries + 1
+
+    def backoff_s(self, shard_seed: int, failure_index: int) -> float:
+        """Delay before retrying after the ``failure_index``-th failure (1-based)."""
+        raw = self.backoff_base_s * self.backoff_factor ** max(0, failure_index - 1)
+        raw = min(self.backoff_max_s, raw)
+        jitter = _mix64(shard_seed, failure_index) / float(2**64)
+        return raw * (1.0 - self.jitter_fraction * jitter)
+
+
+@dataclass
+class ShardRun:
+    """How one shard concluded: its result (if any) and execution story."""
+
+    result: Optional[CampaignResult]
+    attempts: int
+    status: str  # "completed" | "resumed" | "quarantined"
+    error: str = ""
+
+
+class ShardSupervisor:
+    """Executes shard tasks with retries, quarantine, checkpoint, resume.
+
+    Drop-in for the executor protocol except that it yields
+    ``(key, ShardRun)`` pairs (:func:`repro.engine.run_plans` accepts
+    both).  ``jobs <= 1`` runs shards in-process (retry/quarantine/journal
+    still apply; timeouts need worker processes and are ignored);
+    ``jobs > 1`` manages its own ``ProcessPoolExecutor``, killing and
+    rebuilding it when workers wedge or die.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        shard_timeout_s: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[CheckpointJournal] = None,
+        resume: Optional[ResumeState] = None,
+        quarantine_enabled: bool = False,
+        sleep=time.sleep,
+        poll_interval_s: float = 0.05,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs else 1)
+        self.shard_timeout_s = shard_timeout_s
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.journal = journal
+        self.resume = resume if resume is not None else ResumeState()
+        self.quarantine_enabled = quarantine_enabled
+        self.poll_interval_s = poll_interval_s
+        self._sleep = sleep
+        self._interrupt: Optional[str] = None
+
+    # -- public entry ---------------------------------------------------------------
+
+    def execute(
+        self, tasks: Sequence[ShardTask], telemetry: EngineTelemetry
+    ) -> Iterator[Tuple[ShardKey, ShardRun]]:
+        """Yield ``(key, ShardRun)`` in task order, supervising execution."""
+        with self._signal_guard():
+            if self.jobs <= 1:
+                yield from self._execute_serial(tasks, telemetry)
+            else:
+                yield from self._execute_parallel(tasks, telemetry)
+
+    # -- signal handling ------------------------------------------------------------
+
+    @contextmanager
+    def _signal_guard(self):
+        """Install SIGINT/SIGTERM flag handlers (main thread only)."""
+        self._interrupt = None
+        previous = {}
+        if threading.current_thread() is threading.main_thread():
+            def _flag(signum, frame):  # pragma: no cover - exercised via CLI test
+                self._interrupt = signal.Signals(signum).name
+
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous[sig] = signal.signal(sig, _flag)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass
+        try:
+            yield
+        finally:
+            for sig, handler in previous.items():
+                signal.signal(sig, handler)
+
+    def _raise_if_interrupted(self, pool: Optional[ProcessPoolExecutor]) -> None:
+        if self._interrupt is None:
+            return
+        if self.journal is not None:
+            self.journal.close()  # appends are already fsync'd; release the handle
+        if pool is not None:
+            self._kill_pool(pool)
+        raise CampaignInterrupted(
+            f"campaign interrupted by {self._interrupt}; "
+            "checkpoint journal is flushed — restart with resume to continue"
+        )
+
+    # -- shared helpers -------------------------------------------------------------
+
+    def _commit(
+        self,
+        plan_index: int,
+        plan,
+        shard,
+        result: CampaignResult,
+        attempts: int,
+        telemetry: EngineTelemetry,
+    ) -> None:
+        """Durably journal a completed shard, then report it."""
+        label = plan.display_label()
+        if self.journal is not None:
+            self.journal.append_shard(
+                plan_index, shard.index, result, attempts, label=label
+            )
+            telemetry.checkpoint_written(label, shard.index, shard.count)
+        telemetry.shard_finished(label, shard.index, shard.count, shard.faults)
+
+    def _quarantine(
+        self,
+        plan_index: int,
+        plan,
+        shard,
+        attempts: int,
+        reason: str,
+        telemetry: EngineTelemetry,
+        pool: Optional[ProcessPoolExecutor],
+    ) -> ShardRun:
+        """Record a poisoned shard; raise instead if quarantine is disabled."""
+        label = plan.display_label()
+        if self.journal is not None:
+            self.journal.append_quarantine(plan_index, shard.index, attempts, reason)
+        telemetry.shard_quarantined(label, shard.index, shard.count, reason)
+        if not self.quarantine_enabled:
+            if pool is not None:
+                self._kill_pool(pool)
+            raise ShardFailureError(
+                f"shard {label}#s{shard.index} failed after {attempts} attempts "
+                f"({reason}); enable quarantine to complete degraded campaigns"
+            )
+        return ShardRun(result=None, attempts=attempts, status="quarantined", error=reason)
+
+    def _resumed_run(self, plan, shard, key: ShardKey, telemetry) -> ShardRun:
+        telemetry.shard_skipped(
+            plan.display_label(), shard.index, shard.count, shard.faults
+        )
+        return ShardRun(
+            result=self.resume.results[key],
+            attempts=self.resume.attempts.get(key, 1),
+            status="resumed",
+        )
+
+    # -- serial path ----------------------------------------------------------------
+
+    def _execute_serial(
+        self, tasks: Sequence[ShardTask], telemetry: EngineTelemetry
+    ) -> Iterator[Tuple[ShardKey, ShardRun]]:
+        for plan_index, plan, shard in tasks:
+            key = (plan_index, shard.index)
+            if key in self.resume.results:
+                yield key, self._resumed_run(plan, shard, key, telemetry)
+                continue
+            label = plan.display_label()
+            attempt = 1
+            while True:
+                self._raise_if_interrupted(None)
+                telemetry.shard_started(label, shard.index, shard.count)
+                try:
+                    result = _run_shard_task(plan, shard, attempt)
+                except Exception as exc:
+                    reason = repr(exc)
+                    if attempt >= self.policy.max_attempts:
+                        yield key, self._quarantine(
+                            plan_index, plan, shard, attempt, reason, telemetry, None
+                        )
+                        break
+                    telemetry.shard_retried(label, shard.index, shard.count, reason)
+                    self._sleep(self.policy.backoff_s(shard.seed, attempt))
+                    attempt += 1
+                    continue
+                self._commit(plan_index, plan, shard, result, attempt, telemetry)
+                yield key, ShardRun(result=result, attempts=attempt, status="completed")
+                break
+
+    # -- parallel path --------------------------------------------------------------
+
+    def _new_pool(self, task_count: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=min(self.jobs, max(1, task_count)))
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even when its workers are wedged.
+
+        ``shutdown`` alone never reclaims a worker stuck in user code (the
+        interpreter would then hang at exit joining it), so remaining
+        worker processes are terminated outright.
+        """
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        finally:
+            workers = getattr(pool, "_processes", None)
+            members = list(workers.values()) if workers else []
+            for process in members:
+                if process.is_alive():
+                    process.terminate()
+            for process in members:
+                process.join(timeout=2.0)
+
+    def _execute_parallel(
+        self, tasks: Sequence[ShardTask], telemetry: EngineTelemetry
+    ) -> Iterator[Tuple[ShardKey, ShardRun]]:
+        by_key: Dict[ShardKey, ShardTask] = {
+            (plan_index, shard.index): (plan_index, plan, shard)
+            for plan_index, plan, shard in tasks
+        }
+        live = [
+            (plan_index, shard.index)
+            for plan_index, plan, shard in tasks
+            if (plan_index, shard.index) not in self.resume.results
+        ]
+        attempts: Dict[ShardKey, int] = {key: 1 for key in live}
+        futures: Dict[ShardKey, object] = {}
+        started: Set[ShardKey] = set()
+        started_at: Dict[ShardKey, float] = {}
+        collected: Set[ShardKey] = set()
+        probing = False
+
+        pool = self._new_pool(len(live))
+
+        def submit(key: ShardKey) -> None:
+            nonlocal pool
+            plan_index, plan, shard = by_key[key]
+            started.discard(key)
+            started_at.pop(key, None)
+            try:
+                futures[key] = pool.submit(_run_shard_task, plan, shard, attempts[key])
+            except BrokenExecutor:
+                # A poison shard submitted an instant ago can kill the pool
+                # before this submit lands.  A fresh pool cannot be broken,
+                # so one rebuild is always enough; stale futures from the
+                # dead pool read as cancelled and re-enter via wait_head.
+                pool = self._rebuild_pool(pool, len(live))
+                futures[key] = pool.submit(_run_shard_task, plan, shard, attempts[key])
+
+        def scan_starts() -> None:
+            for key, future in futures.items():
+                if key in collected or key in started:
+                    continue
+                if future.running() or future.done():
+                    started.add(key)
+                    started_at[key] = time.monotonic()
+                    plan_index, plan, shard = by_key[key]
+                    telemetry.shard_started(
+                        plan.display_label(), shard.index, shard.count
+                    )
+
+        def resubmit_pending(except_key: Optional[ShardKey]) -> None:
+            """Re-queue every uncollected shard whose future died with the pool."""
+            for key in live:
+                if key in collected or key == except_key:
+                    continue
+                future = futures.get(key)
+                if (
+                    future is not None
+                    and future.done()
+                    and not future.cancelled()
+                    and future.exception() is None
+                ):
+                    continue  # finished before the pool broke; result retained
+                submit(key)
+
+        def wait_head(key: ShardKey):
+            """Block (politely) on the head-of-line shard; classify the outcome."""
+            future = futures[key]
+            while True:
+                self._raise_if_interrupted(pool)
+                scan_starts()
+                if future.done() and not future.cancelled():
+                    exc = future.exception()
+                    if exc is None:
+                        return "ok", future.result()
+                    if isinstance(exc, BrokenExecutor):
+                        return "broken", exc
+                    return "error", exc
+                if future.cancelled():
+                    return "broken", RuntimeError("future cancelled by pool teardown")
+                if (
+                    self.shard_timeout_s is not None
+                    and key in started_at
+                    and time.monotonic() - started_at[key] > self.shard_timeout_s
+                ):
+                    return "timeout", None
+                time.sleep(self.poll_interval_s)
+
+        try:
+            for key in live:
+                submit(key)
+            for plan_index, plan, shard in tasks:
+                key = (plan_index, shard.index)
+                if key in self.resume.results:
+                    yield key, self._resumed_run(plan, shard, key, telemetry)
+                    continue
+                label = plan.display_label()
+                while True:
+                    kind, payload = wait_head(key)
+                    if kind == "ok":
+                        self._commit(
+                            plan_index, plan, shard, payload, attempts[key], telemetry
+                        )
+                        collected.add(key)
+                        yield key, ShardRun(
+                            result=payload, attempts=attempts[key], status="completed"
+                        )
+                        if probing:
+                            resubmit_pending(except_key=None)
+                            probing = False
+                        break
+
+                    if kind == "timeout":
+                        reason = (
+                            f"timeout: no result {self.shard_timeout_s}s after pickup"
+                        )
+                        charged = True
+                        futures[key].cancel()
+                        pool = self._rebuild_pool(pool, len(live))
+                        probing = True
+                    elif kind == "broken":
+                        reason = repr(payload)
+                        # In probe mode the shard ran alone, so the crash is
+                        # provably its own; otherwise nobody is charged yet.
+                        charged = probing
+                        pool = self._rebuild_pool(pool, len(live))
+                        probing = True
+                    else:  # worker raised; pool is still healthy
+                        reason = repr(payload)
+                        charged = True
+
+                    if charged:
+                        if attempts[key] >= self.policy.max_attempts:
+                            collected.add(key)
+                            run = self._quarantine(
+                                plan_index,
+                                plan,
+                                shard,
+                                attempts[key],
+                                reason,
+                                telemetry,
+                                pool,
+                            )
+                            yield key, run
+                            if probing:
+                                resubmit_pending(except_key=key)
+                                probing = False
+                            break
+                        telemetry.shard_retried(
+                            label, shard.index, shard.count, reason
+                        )
+                        self._raise_if_interrupted(pool)
+                        self._sleep(
+                            self.policy.backoff_s(shard.seed, attempts[key])
+                        )
+                        attempts[key] += 1
+                    submit(key)
+        finally:
+            self._kill_pool(pool)
+
+    def _rebuild_pool(
+        self, pool: ProcessPoolExecutor, task_count: int
+    ) -> ProcessPoolExecutor:
+        self._kill_pool(pool)
+        return self._new_pool(task_count)

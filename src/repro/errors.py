@@ -67,5 +67,30 @@ class CampaignError(ReproError):
     """A fault-injection campaign was configured or sequenced incorrectly."""
 
 
+class ShardFailureError(CampaignError):
+    """A campaign shard exhausted its retry budget.
+
+    Raised by the engine supervisor when a shard keeps crashing, timing
+    out, or killing its worker and quarantine is not enabled; the message
+    names the shard and its last failure reason.
+    """
+
+
+class CampaignInterrupted(CampaignError):
+    """A campaign run was stopped by SIGINT/SIGTERM.
+
+    The supervisor flushes the checkpoint journal before raising, so a
+    run started with ``--checkpoint`` can be restarted with ``--resume``.
+    """
+
+
+class CheckpointError(ReproError):
+    """The shard checkpoint journal is unreadable or internally corrupt.
+
+    A torn final record (crash mid-append) is *not* an error — replay
+    discards it — but corruption anywhere before the tail is.
+    """
+
+
 class TraceError(ReproError):
     """The block-layer tracer was queried for an unknown request or event."""

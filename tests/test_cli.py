@@ -52,6 +52,33 @@ class TestParser:
         assert build_parser().parse_args(["discharge"]).load is True
         assert build_parser().parse_args(["discharge", "--no-load"]).load is False
 
+    @pytest.mark.parametrize("command", ["campaign", "fleet"])
+    def test_fault_tolerance_flag_defaults(self, command):
+        args = build_parser().parse_args([command])
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.max_retries == 2
+        assert args.quarantine is False
+        assert args.shard_timeout is None
+
+    @pytest.mark.parametrize("command", ["campaign", "fleet"])
+    def test_fault_tolerance_flags_parse(self, command, tmp_path):
+        args = build_parser().parse_args(
+            [
+                command,
+                "--checkpoint", str(tmp_path / "ck.jsonl"),
+                "--resume",
+                "--max-retries", "5",
+                "--quarantine",
+                "--shard-timeout", "90",
+            ]
+        )
+        assert args.checkpoint.endswith("ck.jsonl")
+        assert args.resume is True
+        assert args.max_retries == 5
+        assert args.quarantine is True
+        assert args.shard_timeout == 90.0
+
 
 class TestCommands:
     def test_list_devices(self, capsys):
@@ -105,6 +132,47 @@ class TestCommands:
         assert serial_out.split("campaign summary")[1] == (
             parallel_out.split("campaign summary")[1]
         )
+
+    def test_resume_without_checkpoint_is_usage_error(self, capsys):
+        assert main(["campaign", "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
+
+    def test_campaign_checkpoint_then_resume(self, capsys, tmp_path):
+        argv = [
+            "campaign",
+            "--faults", "2",
+            "--shard-faults", "1",
+            "--wss-gib", "4",
+            "--checkpoint", str(tmp_path / "ck.jsonl"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr()
+        # Same summary table, but every shard served from the journal.
+        assert first.out.split("campaign summary")[1] == (
+            second.out.split("campaign summary")[1]
+        )
+        assert "2 resumed from checkpoint" in second.err
+
+    def test_quarantine_flag_controls_exit_code(self, capsys, monkeypatch):
+        from repro.engine.executors import TEST_FAULT_ENV
+
+        monkeypatch.setenv(TEST_FAULT_ENV, "crash:0:*")
+        argv = [
+            "campaign",
+            "--faults", "2",
+            "--shard-faults", "1",
+            "--wss-gib", "4",
+            "--max-retries", "0",
+        ]
+        # The campaign always completes (degraded); the flag only decides
+        # whether a quarantined shard is an error exit.
+        assert main(argv) == 1
+        first = capsys.readouterr()
+        assert "campaign summary" in first.out
+        assert "1 quarantined" in first.err
+        assert main(argv + ["--quarantine"]) == 0
 
     def test_post_ack_bad_intervals(self, capsys):
         assert main(["post-ack", "--intervals", "abc"]) == 2
