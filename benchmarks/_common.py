@@ -27,6 +27,11 @@ Fault tolerance: campaigns run under the engine's shard supervisor.
 and ``REPRO_BENCH_CHECKPOINT`` names a directory of per-campaign shard
 journals so a killed paper-scale sweep resumes instead of restarting —
 none of these affect result numbers (retried shards are deterministic).
+
+Profiling: ``REPRO_BENCH_TRACE`` names a directory of per-campaign
+telemetry traces (``<dir>/<label-slug>.trace.jsonl``, one JSONL record
+per shard event); feed any of them to ``repro trace report`` to find the
+stragglers, retries, and checkpoint lag of a paper-scale sweep.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from typing import Dict, List, Optional
 
 from repro.core import calibration
 from repro.core.results import CampaignResult
-from repro.engine import CampaignPlan, run_plan
+from repro.engine import CampaignPlan, run_plan, TraceWriter
 from repro.ssd.device import SsdConfig
 from repro.workload.spec import WorkloadSpec
 
@@ -80,14 +85,34 @@ def bench_checkpoint_dir() -> Optional[str]:
     return os.environ.get("REPRO_BENCH_CHECKPOINT") or None
 
 
-def _checkpoint_path(label: str) -> Optional[str]:
-    directory = bench_checkpoint_dir()
+def bench_trace_dir() -> Optional[str]:
+    """Telemetry trace directory (``REPRO_BENCH_TRACE``).
+
+    When set, every bench campaign appends its per-shard engine events to
+    ``<dir>/<label-slug>.trace.jsonl`` — profile them afterwards with
+    ``repro trace report``.
+    """
+    return os.environ.get("REPRO_BENCH_TRACE") or None
+
+
+def _campaign_slug(label: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "_" for c in label) or "campaign"
+
+
+def _campaign_file(directory: Optional[str], label: str, suffix: str) -> Optional[str]:
     if directory is None:
         return None
-    slug = "".join(c if c.isalnum() or c in "-_" else "_" for c in label) or "campaign"
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
-    return str(path / f"{slug}.jsonl")
+    return str(path / f"{_campaign_slug(label)}{suffix}")
+
+
+def _checkpoint_path(label: str) -> Optional[str]:
+    return _campaign_file(bench_checkpoint_dir(), label, ".jsonl")
+
+
+def _trace_path(label: str) -> Optional[str]:
+    return _campaign_file(bench_trace_dir(), label, ".trace.jsonl")
 
 
 def fault_budget(experiment_key: str) -> int:
@@ -120,14 +145,21 @@ def run_campaign(
         shard_faults=BENCH_SHARD_FAULTS,
     )
     checkpoint = _checkpoint_path(plan.label)
-    return run_plan(
-        plan,
-        jobs=jobs,
-        checkpoint=checkpoint,
-        resume=checkpoint is not None,
-        max_retries=bench_max_retries(),
-        shard_timeout_s=bench_shard_timeout(),
-    )
+    trace = _trace_path(plan.label)
+    tracer = TraceWriter(trace) if trace is not None else None
+    try:
+        return run_plan(
+            plan,
+            jobs=jobs,
+            progress=tracer,
+            checkpoint=checkpoint,
+            resume=checkpoint is not None,
+            max_retries=bench_max_retries(),
+            shard_timeout_s=bench_shard_timeout(),
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
 
 
 def print_banner(title: str, anchor_keys: List[str]) -> None:

@@ -7,11 +7,19 @@ and asserts the resumed summary table is byte-identical to an
 uninterrupted serial run of the same plan — the engine's headline
 crash-safety guarantee.
 
+Both the interrupted and resumed phases run with ``--trace``; the traces
+are schema-checked (every record carries the required fields, kinds are
+known, capture timestamps are monotonic) and the resumed-phase trace must
+show skipped shards whose cycles are excluded from the throughput rate.
+Set ``RESUME_SMOKE_TRACE_DIR`` to keep the trace files (CI uploads them
+as artifacts); by default they live and die with the temp directory.
+
 Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
 
     PYTHONPATH=src python scripts/resume_smoke.py
 """
 
+import json
 import os
 import signal
 import subprocess
@@ -27,6 +35,7 @@ ARGS = [
     "--wss-gib", "4",
 ]
 FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+TRACE_DIR_ENV = "RESUME_SMOKE_TRACE_DIR"
 
 
 def cli_env():
@@ -54,16 +63,81 @@ def summary_table(stdout):
     ]
 
 
+def check_trace_schema(path, expect_skips=False):
+    """Validate one trace file against the engine's published schema.
+
+    Returns an error string, or None when the trace is sound.  A missing
+    or empty file is an error: both phases run with ``--trace``, so a
+    silent no-trace run means the flag quietly stopped working.
+    """
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    if src not in sys.path:  # tolerate being run without PYTHONPATH=src
+        sys.path.insert(0, src)
+    from repro.engine.trace import EVENT_KINDS, REQUIRED_FIELDS, TRACE_VERSION
+
+    if not path.exists():
+        return f"trace file was not written: {path}"
+    records = []
+    for index, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            return f"{path.name}:{index}: unparseable trace line"
+    if not records:
+        return f"{path.name}: trace contains no records"
+    last_mono = None
+    for index, record in enumerate(records, start=1):
+        missing = [name for name in REQUIRED_FIELDS if name not in record]
+        if missing:
+            return f"{path.name}:{index}: missing required fields {missing}"
+        if record["v"] != TRACE_VERSION:
+            return f"{path.name}:{index}: unknown trace version {record['v']!r}"
+        if record["kind"] not in EVENT_KINDS:
+            return f"{path.name}:{index}: unknown event kind {record['kind']!r}"
+        if last_mono is not None and record["mono_time_s"] < last_mono:
+            return f"{path.name}:{index}: monotonic timestamp went backwards"
+        last_mono = record["mono_time_s"]
+    if expect_skips:
+        skips = [r for r in records if r["kind"] == "shard-skipped"]
+        if not skips:
+            return f"{path.name}: resumed run recorded no shard-skipped events"
+        if any(r["cycles_skipped"] <= 0 for r in skips):
+            return f"{path.name}: shard-skipped record with no skipped cycles"
+        # The bugfix under test: checkpoint-loaded cycles must not feed
+        # the throughput rate (executed = done - skipped drives it).
+        bogus = [
+            r for r in records
+            if r["cycles_done"] == r["cycles_skipped"]
+            and r["cycles_done"] > 0
+            and r["cycles_per_sec"] > 0.0
+        ]
+        if bogus:
+            return (
+                f"{path.name}: throughput credited for checkpoint-loaded "
+                f"cycles ({bogus[0]['cycles_per_sec']:.2f} cycles/s with "
+                "nothing executed)"
+            )
+    print(f"trace ok: {path.name} ({len(records)} records)")
+    return None
+
+
 def main():
     env = cli_env()
     with tempfile.TemporaryDirectory() as tmp:
         checkpoint = Path(tmp) / "ck.jsonl"
+        trace_dir = Path(os.environ.get(TRACE_DIR_ENV) or tmp)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        interrupted_trace = trace_dir / "interrupted.trace.jsonl"
+        resumed_trace = trace_dir / "resumed.trace.jsonl"
 
         slow_env = dict(env)
         slow_env[FAULT_ENV] = "slow:*:*:0.8"  # widen the interrupt window
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro", *ARGS,
-             "--jobs", "2", "--checkpoint", str(checkpoint)],
+             "--jobs", "2", "--checkpoint", str(checkpoint),
+             "--trace", str(interrupted_trace)],
             stdout=subprocess.PIPE,
             stderr=subprocess.PIPE,
             text=True,
@@ -93,7 +167,9 @@ def main():
             return 1
 
         resumed = run_cli(
-            ARGS + ["--jobs", "2", "--checkpoint", str(checkpoint), "--resume"], env
+            ARGS + ["--jobs", "2", "--checkpoint", str(checkpoint), "--resume",
+                    "--trace", str(resumed_trace)],
+            env,
         )
         if resumed.returncode != 0:
             print(f"FAIL: resume exited {resumed.returncode}\n{resumed.stderr}")
@@ -111,6 +187,21 @@ def main():
             print(resumed.stdout)
             print("--- baseline ---")
             print(baseline.stdout)
+            return 1
+
+        # Schema-check the traces both phases wrote.  The interrupted
+        # phase may have died before any event (SIGTERM can land before
+        # the first pickup), in which case its trace never opened — that
+        # is the writer's documented lazy-open behaviour, not a failure.
+        resumed_from_journal = "resumed from checkpoint" in resumed.stderr
+        if interrupted_trace.exists():
+            error = check_trace_schema(interrupted_trace)
+            if error:
+                print(f"FAIL: {error}")
+                return 1
+        error = check_trace_schema(resumed_trace, expect_skips=resumed_from_journal)
+        if error:
+            print(f"FAIL: {error}")
             return 1
 
     print("OK: resumed campaign matches uninterrupted run exactly")

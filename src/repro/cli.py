@@ -11,6 +11,8 @@ Usage (installed or via ``python -m repro``)::
     python -m repro discharge --load
     python -m repro post-ack --intervals 50,250,450,800
     python -m repro smart --device ssd-b --faults 3
+    python -m repro trace report run.trace.jsonl
+    python -m repro checkpoint compact run.ck.jsonl
 """
 
 from __future__ import annotations
@@ -23,8 +25,15 @@ from repro.analysis import ascii_table
 from repro.core.campaign import Campaign, CampaignConfig
 from repro.core.experiment import run_discharge_capture, run_post_ack_sweep
 from repro.core.platform import TestPlatform
-from repro.engine import CampaignPlan, ConsoleProgress, DEFAULT_SHARD_FAULTS, run_plan
-from repro.errors import CampaignInterrupted
+from repro.engine import (
+    CampaignPlan,
+    ConsoleProgress,
+    DEFAULT_SHARD_FAULTS,
+    fanout_hooks,
+    run_plan,
+    TraceWriter,
+)
+from repro.errors import CampaignInterrupted, CheckpointError, EngineTraceError
 from repro.ssd import models
 from repro.units import GIB, KIB
 from repro.workload.spec import AccessPattern, WorkloadSpec
@@ -60,6 +69,12 @@ def _add_fault_tolerance_flags(command: argparse.ArgumentParser) -> None:
         default=None,
         metavar="SECONDS",
         help="kill and retry a shard running longer than this (needs --jobs > 1)",
+    )
+    command.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append per-shard telemetry to a JSONL trace (see `repro trace report`)",
     )
 
 
@@ -136,6 +151,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; the fleet's per-device shards run concurrently",
     )
     _add_fault_tolerance_flags(fleet)
+
+    trace = sub.add_parser(
+        "trace", help="inspect engine telemetry traces (written with --trace)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_report = trace_sub.add_parser(
+        "report", help="straggler/retry analysis of one trace JSONL"
+    )
+    trace_report.add_argument("path", help="trace file written by --trace/REPRO_BENCH_TRACE")
+    trace_report.add_argument(
+        "--top", type=int, default=5, help="how many slowest shards to list (default 5)"
+    )
+
+    checkpoint = sub.add_parser(
+        "checkpoint", help="manage write-ahead shard checkpoint journals"
+    )
+    checkpoint_sub = checkpoint.add_subparsers(dest="checkpoint_command", required=True)
+    compact = checkpoint_sub.add_parser(
+        "compact",
+        help="rewrite a journal to one latest record per shard (atomic replace)",
+    )
+    compact.add_argument("path", help="journal file written by --checkpoint")
 
     replay = sub.add_parser(
         "replay", help="replay a captured trace against a device, optionally with a fault"
@@ -231,8 +268,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"running {args.faults} faults against {plan.display_label()} "
         f"({plan.shard_count()} shards, jobs={args.jobs}) ..."
     )
-    progress = ConsoleProgress() if args.progress else None
-    result = run_plan(plan, jobs=args.jobs, progress=progress, **_engine_kwargs(args))
+    tracer = TraceWriter(args.trace) if args.trace else None
+    progress = fanout_hooks(ConsoleProgress() if args.progress else None, tracer)
+    try:
+        result = run_plan(
+            plan, jobs=args.jobs, progress=progress, **_engine_kwargs(args)
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     if args.per_cycle:
         print(
             ascii_table(
@@ -313,17 +357,23 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(
         wss_bytes=args.wss_gib * GIB, read_fraction=0.0, outstanding=16
     )
-    results = run_fleet(
-        models.table_one_units(),
-        spec,
-        faults=args.faults,
-        base_seed=args.seed,
-        jobs=args.jobs,
-        progress=lambda name, result: print(
-            f"  {name}: {result.total_data_loss} data loss over {result.faults} faults"
-        ),
-        **_engine_kwargs(args),
-    )
+    tracer = TraceWriter(args.trace) if args.trace else None
+    try:
+        results = run_fleet(
+            models.table_one_units(),
+            spec,
+            faults=args.faults,
+            base_seed=args.seed,
+            jobs=args.jobs,
+            progress=lambda name, result: print(
+                f"  {name}: {result.total_data_loss} data loss over {result.faults} faults"
+            ),
+            engine_progress=tracer,
+            **_engine_kwargs(args),
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     merged = merge_by_model(results)
     print()
     print(
@@ -348,6 +398,48 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         _report_execution(result)
     if quarantined and not args.quarantine:
         return 1
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.engine import build_trace_report, read_trace
+
+    if not Path(args.path).exists():
+        print(f"trace file not found: {args.path}", file=sys.stderr)
+        return 2
+    try:
+        records = read_trace(args.path)
+        report = build_trace_report(records, slowest=max(0, args.top))
+    except EngineTraceError as exc:
+        print(f"[trace] {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    return 0
+
+
+def _cmd_checkpoint_compact(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.engine import compact_journal
+
+    if not Path(args.path).exists():
+        print(f"journal not found: {args.path}", file=sys.stderr)
+        return 2
+    try:
+        stats = compact_journal(args.path)
+    except CheckpointError as exc:
+        print(f"[checkpoint] {exc}", file=sys.stderr)
+        return 1
+    line = (
+        f"compacted {args.path}: {stats.records_in} -> {stats.records_out} records "
+        f"({stats.duplicates_dropped} duplicates, "
+        f"{stats.quarantine_dropped} quarantine records dropped)"
+    )
+    if stats.torn_tail_dropped:
+        line += "; torn tail discarded"
+    print(line)
     return 0
 
 
@@ -437,6 +529,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_smart(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "trace":
+        return _cmd_trace_report(args)
+    if args.command == "checkpoint":
+        return _cmd_checkpoint_compact(args)
     if args.command == "replay":
         return _cmd_replay(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -84,14 +84,18 @@ def run_fleet(
     max_retries: Optional[int] = None,
     shard_timeout_s: Optional[float] = None,
     quarantine: bool = False,
+    engine_progress=None,
 ) -> Dict[str, CampaignResult]:
     """One campaign per device through the execution engine.
 
     ``progress`` (if given) is invoked as each device's plan finishes —
-    examples use it for console feedback on long fleets.  ``jobs > 1``
-    executes the fleet's shards on a process pool; results are identical
-    to ``jobs=1`` because the plans (and their shard seeds) don't depend
-    on the executor.
+    examples use it for console feedback on long fleets.
+    ``engine_progress`` is the engine's per-shard telemetry hook
+    (:data:`repro.engine.ProgressHook` — e.g. a ``ConsoleProgress`` or a
+    ``TraceWriter``), distinct from the per-device ``progress`` callback.
+    ``jobs > 1`` executes the fleet's shards on a process pool; results
+    are identical to ``jobs=1`` because the plans (and their shard seeds)
+    don't depend on the executor.
 
     Fault tolerance: ``checkpoint``/``resume`` journal the whole fleet in
     one write-ahead file (records are keyed per plan, so a resumed fleet
@@ -123,6 +127,7 @@ def run_fleet(
         plans,
         executor=executor,
         jobs=jobs,
+        progress=engine_progress,
         on_plan_done=_plan_done,
         checkpoint=checkpoint,
         resume=resume,

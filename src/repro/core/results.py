@@ -31,6 +31,25 @@ class FaultCycleResult:
         return self.data_failures + self.fwa_failures
 
 
+@dataclass(frozen=True)
+class ShardTiming:
+    """Execution timing of one shard, as observed by the supervisor.
+
+    ``pickup_latency_s`` is submit-to-pickup (how long the shard queued
+    behind other work); ``duration_s`` is pickup-to-completion of the
+    *successful* attempt.  Both are ``None`` when the execution path could
+    not observe them (resumed shards never ran; plain executors don't
+    instrument).  Timing never feeds result numbers — it exists so
+    paper-scale sweeps can be profiled for stragglers.
+    """
+
+    shard_index: int
+    status: str  # "completed" | "resumed" | "quarantined"
+    attempts: int = 1
+    pickup_latency_s: Optional[float] = None
+    duration_s: Optional[float] = None
+
+
 @dataclass
 class ExecutionStats:
     """How a campaign's shards were *executed* (degraded-run accounting).
@@ -40,7 +59,8 @@ class ExecutionStats:
     may be loaded from a checkpoint or quarantined.  This record keeps that
     operational story separate from :meth:`CampaignResult.summary`, so a
     resumed or retried run still produces *identical* result numbers while
-    remaining auditable.
+    remaining auditable.  (``timings`` likewise stays out of ``summary()``:
+    wall-clock varies run to run, result numbers must not.)
     """
 
     shards_completed: int = 0
@@ -49,6 +69,7 @@ class ExecutionStats:
     retries: int = 0
     attempts: List[int] = field(default_factory=list)
     quarantined: List[str] = field(default_factory=list)
+    timings: List[ShardTiming] = field(default_factory=list)
 
     @property
     def degraded(self) -> bool:
@@ -60,6 +81,7 @@ class ExecutionStats:
         dup = replace(self)
         dup.attempts = list(self.attempts)
         dup.quarantined = list(self.quarantined)
+        dup.timings = list(self.timings)
         return dup
 
     def merged_with(self, other: "ExecutionStats") -> "ExecutionStats":
@@ -71,6 +93,7 @@ class ExecutionStats:
         merged.retries += other.retries
         merged.attempts.extend(other.attempts)
         merged.quarantined.extend(other.quarantined)
+        merged.timings.extend(other.timings)
         return merged
 
     def summary(self) -> Dict[str, object]:

@@ -35,9 +35,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
-from repro.core.results import CampaignResult, ExecutionStats
+from repro.core.results import CampaignResult, ExecutionStats, ShardTiming
 from repro.engine.checkpoint import (
     CheckpointJournal,
+    compact_journal,
+    CompactionStats,
     load_resume_state,
     plans_fingerprint,
     ResumeState,
@@ -58,10 +60,20 @@ from repro.engine.plan import (
 from repro.engine.progress import (
     ConsoleProgress,
     EngineTelemetry,
+    fanout_hooks,
+    PLAN_EVENT_INDEX,
     ProgressEvent,
     ProgressHook,
 )
 from repro.engine.supervisor import RetryPolicy, ShardRun, ShardSupervisor
+from repro.engine.trace import (
+    build_trace_report,
+    load_trace_report,
+    read_trace,
+    TraceReport,
+    TraceRecord,
+    TraceWriter,
+)
 from repro.errors import CampaignError
 
 PlanDoneHook = Callable[[int, CampaignResult], None]
@@ -91,6 +103,15 @@ def _merge_plan_runs(plan: CampaignPlan, ordered_runs: List[ShardRun]) -> Campai
             stats.quarantined.append(f"{plan.display_label()}#s{index}")
         else:
             stats.shards_completed += 1
+        stats.timings.append(
+            ShardTiming(
+                shard_index=index,
+                status=run.status,
+                attempts=run.attempts,
+                pickup_latency_s=run.pickup_latency_s,
+                duration_s=run.duration_s,
+            )
+        )
     merged.execution = stats
     return merged
 
@@ -231,10 +252,12 @@ def run_plan(
 __all__ = [
     "CampaignPlan",
     "CheckpointJournal",
+    "CompactionStats",
     "ConsoleProgress",
     "DEFAULT_SHARD_FAULTS",
     "EngineTelemetry",
     "ExecutionStats",
+    "PLAN_EVENT_INDEX",
     "ParallelExecutor",
     "ProgressEvent",
     "ProgressHook",
@@ -244,11 +267,20 @@ __all__ = [
     "ShardRun",
     "ShardSpec",
     "ShardSupervisor",
+    "ShardTiming",
+    "TraceRecord",
+    "TraceReport",
+    "TraceWriter",
+    "build_trace_report",
+    "compact_journal",
     "derive_shard_seed",
+    "fanout_hooks",
     "load_resume_state",
+    "load_trace_report",
     "make_executor",
     "merge_shard_results",
     "plans_fingerprint",
+    "read_trace",
     "run_plan",
     "run_plans",
 ]

@@ -256,3 +256,107 @@ def load_resume_state(path: PathLike, fingerprint: str) -> ResumeState:
         state.results[key] = result_from_record(record["result"])
         state.attempts[key] = int(record.get("attempts", 1))
     return state
+
+
+# -- compaction ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionStats:
+    """What :func:`compact_journal` rewrote (for console reporting)."""
+
+    records_in: int
+    records_out: int
+    duplicates_dropped: int
+    quarantine_dropped: int
+    torn_tail_dropped: bool
+
+    @property
+    def dropped(self) -> int:
+        return self.records_in - self.records_out
+
+
+def compact_journal(path: PathLike) -> CompactionStats:
+    """Rewrite a journal to one latest record per shard, atomically.
+
+    Journals are append-only: every resume appends fresh shard commits and
+    quarantine audit records, so a long-lived journal grows without bound
+    even though replay only ever uses the *latest* record per ``(plan
+    fingerprint, plan index, shard index)``.  Compaction keeps exactly
+    that record (records of other fingerprints are kept too — they belong
+    to other campaign definitions sharing the file), drops quarantine
+    records (audit-only; replay re-attempts quarantined shards
+    regardless), and drops a torn final line.
+
+    The rewrite is torn-tail-safe: the compacted journal is written to a
+    sibling temp file, fsync'd, then atomically ``os.replace``d over the
+    original (with a directory fsync), so a crash mid-compaction leaves
+    either the old journal or the new one — never a hybrid.
+
+    Raises :class:`~repro.errors.CheckpointError` for a missing file or
+    corruption anywhere before the tail.
+    """
+    journal_path = Path(path)
+    if not journal_path.exists():
+        raise CheckpointError(f"journal not found: {journal_path}")
+    lines = journal_path.read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+
+    torn_tail = False
+    records: list = []
+    for index, line in enumerate(lines):
+        try:
+            if not line.strip():
+                raise CheckpointError("blank journal line")
+            records.append(_decode_line(line))
+        except (CheckpointError, ValueError) as exc:
+            if index == len(lines) - 1:
+                torn_tail = True
+                break
+            raise CheckpointError(
+                f"corrupt journal record at line {index + 1} of {journal_path}"
+            ) from exc
+
+    latest: Dict[Tuple, Dict] = {}
+    order: Dict[Tuple, int] = {}
+    quarantine_dropped = 0
+    passthrough: list = []  # (position, record) for unrecognised kinds
+    for position, record in enumerate(records):
+        kind = record.get("kind")
+        if kind == "quarantine":
+            quarantine_dropped += 1
+            continue
+        if kind == "shard":
+            key = (record.get("fp"), record.get("plan"), record.get("shard"))
+            if key not in order:
+                order[key] = position
+            latest[key] = record
+            continue
+        passthrough.append((position, record))
+
+    kept = sorted(
+        [(order[key], record) for key, record in latest.items()] + passthrough
+    )
+    duplicates = len(records) - quarantine_dropped - len(kept)
+
+    tmp_path = journal_path.with_name(journal_path.name + ".compact.tmp")
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        for _, record in kept:
+            handle.write(_encode_line(record) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, journal_path)
+    directory = os.open(journal_path.parent, os.O_RDONLY)
+    try:
+        os.fsync(directory)
+    finally:
+        os.close(directory)
+
+    return CompactionStats(
+        records_in=len(records),
+        records_out=len(kept),
+        duplicates_dropped=duplicates,
+        quarantine_dropped=quarantine_dropped,
+        torn_tail_dropped=torn_tail,
+    )

@@ -107,9 +107,18 @@ class SerialExecutor:
         """Yield ``(key, result)`` for each task, in order."""
         for plan_index, plan, shard in tasks:
             label = plan.display_label()
-            telemetry.shard_started(label, shard.index, shard.count)
+            telemetry.shard_started(
+                label, shard.index, shard.count, attempt=1, worker_pid=os.getpid()
+            )
             result = _run_shard_task(plan, shard)
-            telemetry.shard_finished(label, shard.index, shard.count, shard.faults)
+            telemetry.shard_finished(
+                label,
+                shard.index,
+                shard.count,
+                shard.faults,
+                attempt=1,
+                worker_pid=os.getpid(),
+            )
             yield (plan_index, shard.index), result
 
 
@@ -157,6 +166,7 @@ class ParallelExecutor:
             for (plan_index, plan, shard), future in zip(tasks, futures):
                 key = (plan_index, shard.index)
                 label = plan.display_label()
+                attempt = 1
                 try:
                     result = self._await(future, emit_new_starts)
                 except Exception as exc:  # timeout, worker crash, broken pool
@@ -166,12 +176,13 @@ class ParallelExecutor:
                         started.add(key)
                         telemetry.shard_started(label, shard.index, shard.count)
                     telemetry.shard_retried(
-                        label, shard.index, shard.count, reason=repr(exc)
+                        label, shard.index, shard.count, reason=repr(exc), attempt=1
                     )
+                    attempt = 2
                     result = _run_shard_task(plan, shard, attempt=2)
                 emit_new_starts()
                 telemetry.shard_finished(
-                    label, shard.index, shard.count, shard.faults
+                    label, shard.index, shard.count, shard.faults, attempt=attempt
                 )
                 yield key, result
         finally:

@@ -1,10 +1,17 @@
 """Engine progress/telemetry hooks.
 
 Executors report shard lifecycle events through an :class:`EngineTelemetry`
-instance; consumers (CLI, benches, tests) receive :class:`ProgressEvent`
-snapshots carrying throughput (cycles/sec) and an ETA estimate.  The hook
-is a plain callable, so tests can collect events into a list and the CLI
-can render them as console lines.
+instance; consumers (CLI, benches, tests, the trace exporter) receive
+:class:`ProgressEvent` snapshots carrying throughput (cycles/sec) and an
+ETA estimate.  The hook is a plain callable, so tests can collect events
+into a list, the CLI can render them as console lines, and
+:class:`repro.engine.trace.TraceWriter` can persist them as JSONL.
+
+Throughput accounting distinguishes *executed* cycles from cycles loaded
+out of a checkpoint journal: skipped shards count toward progress totals
+(``cycles_done``) but never toward the rate, so a resumed run's
+``cycles_per_sec``/ETA describe the work actually being performed instead
+of crediting the engine with cycles a previous run already paid for.
 """
 
 from __future__ import annotations
@@ -13,6 +20,14 @@ import sys
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, TextIO
+
+PLAN_EVENT_INDEX = -1
+"""Sentinel ``shard_index`` for plan-level events (``plan-finished``).
+
+Plan-level events describe no particular shard; using a real index would
+alias a shard for any consumer keying events by ``(plan_label,
+shard_index)``.
+"""
 
 
 @dataclass(frozen=True)
@@ -23,7 +38,14 @@ class ProgressEvent:
     shard up), ``shard-finished``, ``shard-retried``, ``shard-skipped``
     (loaded from a checkpoint instead of executed), ``shard-quarantined``
     (retry budget exhausted), ``checkpoint-written`` (shard committed to
-    the journal), or ``plan-finished``.
+    the journal), or ``plan-finished`` (whose ``shard_index`` is the
+    :data:`PLAN_EVENT_INDEX` sentinel, never a real shard).
+
+    ``attempt`` is the attempt number the event describes (``None`` when
+    not applicable); ``worker_pid`` is the executing process when the
+    emitter knows it (in-process execution — pool workers are anonymous);
+    ``commit_lag_s`` (checkpoint-written only) is how long a finished
+    shard result waited before being durably journaled.
     """
 
     kind: str
@@ -38,9 +60,28 @@ class ProgressEvent:
     cycles_per_sec: float
     eta_s: Optional[float]
     detail: str = ""
+    cycles_skipped: int = 0
+    attempt: Optional[int] = None
+    worker_pid: Optional[int] = None
+    commit_lag_s: Optional[float] = None
 
 
 ProgressHook = Callable[[ProgressEvent], None]
+
+
+def fanout_hooks(*hooks: Optional[ProgressHook]) -> Optional[ProgressHook]:
+    """Combine hooks into one (``None`` entries dropped; empty -> ``None``)."""
+    live = [hook for hook in hooks if hook is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def _fanout(event: ProgressEvent) -> None:
+        for hook in live:
+            hook(event)
+
+    return _fanout
 
 
 class EngineTelemetry:
@@ -61,6 +102,7 @@ class EngineTelemetry:
         self.cycles_total = cycles_total
         self.shards_done = 0
         self.cycles_done = 0
+        self.cycles_skipped = 0
         self.retries = 0
         self.skipped = 0
         self.quarantined = 0
@@ -77,16 +119,31 @@ class EngineTelemetry:
         return self._clock() - self._start
 
     @property
+    def cycles_executed(self) -> int:
+        """Cycles actually run this session (checkpoint-loaded ones excluded)."""
+        return self.cycles_done - self.cycles_skipped
+
+    @property
     def cycles_per_sec(self) -> float:
-        """Observed completed-cycle throughput."""
+        """Observed *executed*-cycle throughput.
+
+        Cycles served from a checkpoint journal are excluded: they took no
+        work this run, and folding them in made a resumed run's rate (and
+        therefore its ETA) wildly optimistic.
+        """
         elapsed = self.elapsed_s
-        if elapsed <= 0.0 or self.cycles_done == 0:
+        if elapsed <= 0.0 or self.cycles_executed <= 0:
             return 0.0
-        return self.cycles_done / elapsed
+        return self.cycles_executed / elapsed
 
     @property
     def eta_s(self) -> Optional[float]:
-        """Estimated seconds to completion (None until throughput is known)."""
+        """Estimated seconds to completion (None until throughput is known).
+
+        Remaining work is everything not yet *done* (skipped shards do
+        count as done — they need no further time); the rate it is divided
+        by comes from executed cycles only.
+        """
         rate = self.cycles_per_sec
         if rate <= 0.0:
             return None
@@ -94,55 +151,122 @@ class EngineTelemetry:
 
     # -- event entry points -------------------------------------------------------
 
-    def shard_started(self, plan_label: str, index: int, count: int) -> None:
+    def shard_started(
+        self,
+        plan_label: str,
+        index: int,
+        count: int,
+        attempt: Optional[int] = None,
+        worker_pid: Optional[int] = None,
+    ) -> None:
         """A shard began executing (a worker actually picked it up)."""
-        self._emit("shard-started", plan_label, index, count)
+        self._emit(
+            "shard-started",
+            plan_label,
+            index,
+            count,
+            attempt=attempt,
+            worker_pid=worker_pid,
+        )
 
     def shard_finished(
-        self, plan_label: str, index: int, count: int, cycles: int
+        self,
+        plan_label: str,
+        index: int,
+        count: int,
+        cycles: int,
+        attempt: Optional[int] = None,
+        worker_pid: Optional[int] = None,
     ) -> None:
         """A shard completed; fold its cycles into the throughput estimate."""
         self.shards_done += 1
         self.cycles_done += cycles
-        self._emit("shard-finished", plan_label, index, count)
+        self._emit(
+            "shard-finished",
+            plan_label,
+            index,
+            count,
+            attempt=attempt,
+            worker_pid=worker_pid,
+        )
 
     def shard_retried(
-        self, plan_label: str, index: int, count: int, reason: str
+        self,
+        plan_label: str,
+        index: int,
+        count: int,
+        reason: str,
+        attempt: Optional[int] = None,
     ) -> None:
         """A shard failed or timed out and is being retried in-process."""
         self.retries += 1
-        self._emit("shard-retried", plan_label, index, count, detail=reason)
+        self._emit(
+            "shard-retried", plan_label, index, count, detail=reason, attempt=attempt
+        )
 
     def shard_skipped(
         self, plan_label: str, index: int, count: int, cycles: int
     ) -> None:
-        """A shard was loaded from the checkpoint journal, not executed."""
+        """A shard was loaded from the checkpoint journal, not executed.
+
+        Its cycles advance the progress totals but are tracked separately
+        so the throughput/ETA estimate only reflects executed work.
+        """
         self.shards_done += 1
         self.cycles_done += cycles
+        self.cycles_skipped += cycles
         self.skipped += 1
         self._emit("shard-skipped", plan_label, index, count, detail="from checkpoint")
 
     def shard_quarantined(
-        self, plan_label: str, index: int, count: int, reason: str
+        self,
+        plan_label: str,
+        index: int,
+        count: int,
+        reason: str,
+        attempt: Optional[int] = None,
     ) -> None:
         """A shard exhausted its retry budget and was quarantined."""
         self.shards_done += 1
         self.quarantined += 1
-        self._emit("shard-quarantined", plan_label, index, count, detail=reason)
+        self._emit(
+            "shard-quarantined",
+            plan_label,
+            index,
+            count,
+            detail=reason,
+            attempt=attempt,
+        )
 
-    def checkpoint_written(self, plan_label: str, index: int, count: int) -> None:
+    def checkpoint_written(
+        self,
+        plan_label: str,
+        index: int,
+        count: int,
+        commit_lag_s: Optional[float] = None,
+    ) -> None:
         """A shard result was durably committed to the journal."""
         self.checkpoints += 1
-        self._emit("checkpoint-written", plan_label, index, count)
+        self._emit(
+            "checkpoint-written", plan_label, index, count, commit_lag_s=commit_lag_s
+        )
 
     def plan_finished(self, plan_label: str, shard_count: int) -> None:
-        """Every shard of one plan has merged."""
-        self._emit("plan-finished", plan_label, max(0, shard_count - 1), shard_count)
+        """Every shard of one plan has merged (shard index is the sentinel)."""
+        self._emit("plan-finished", plan_label, PLAN_EVENT_INDEX, shard_count)
 
     # -- internals ----------------------------------------------------------------
 
     def _emit(
-        self, kind: str, plan_label: str, index: int, count: int, detail: str = ""
+        self,
+        kind: str,
+        plan_label: str,
+        index: int,
+        count: int,
+        detail: str = "",
+        attempt: Optional[int] = None,
+        worker_pid: Optional[int] = None,
+        commit_lag_s: Optional[float] = None,
     ) -> None:
         if self._hook is None:
             return
@@ -160,6 +284,10 @@ class EngineTelemetry:
                 cycles_per_sec=self.cycles_per_sec,
                 eta_s=self.eta_s,
                 detail=detail,
+                cycles_skipped=self.cycles_skipped,
+                attempt=attempt,
+                worker_pid=worker_pid,
+                commit_lag_s=commit_lag_s,
             )
         )
 
@@ -181,9 +309,13 @@ class ConsoleProgress:
         if event.kind in self.QUIET_KINDS and not self.verbose:
             return
         eta = f"{event.eta_s:.0f}s" if event.eta_s is not None else "?"
+        if event.shard_index == PLAN_EVENT_INDEX:
+            scope = f"all {event.shard_count} shards"
+        else:
+            scope = f"shard {event.shard_index + 1}/{event.shard_count}"
         line = (
             f"[engine] {event.kind:<14} {event.plan_label} "
-            f"shard {event.shard_index + 1}/{event.shard_count} | "
+            f"{scope} | "
             f"shards {event.shards_done}/{event.shards_total} | "
             f"cycles {event.cycles_done}/{event.cycles_total} | "
             f"{event.cycles_per_sec:.2f} cycles/s | ETA {eta}"

@@ -45,6 +45,7 @@ system — the same stance the paper takes toward SSD firmware:
 
 from __future__ import annotations
 
+import os
 import signal
 import threading
 import time
@@ -103,12 +104,21 @@ class RetryPolicy:
 
 @dataclass
 class ShardRun:
-    """How one shard concluded: its result (if any) and execution story."""
+    """How one shard concluded: its result (if any) and execution story.
+
+    ``pickup_latency_s`` (submit to observed pickup) and ``duration_s``
+    (pickup to completion of the successful attempt) are populated by the
+    supervisor where observable; resumed shards never ran, so theirs stay
+    ``None``.  The timing feeds
+    :class:`~repro.core.results.ShardTiming` on the merged result.
+    """
 
     result: Optional[CampaignResult]
     attempts: int
     status: str  # "completed" | "resumed" | "quarantined"
     error: str = ""
+    pickup_latency_s: Optional[float] = None
+    duration_s: Optional[float] = None
 
 
 class ShardSupervisor:
@@ -199,6 +209,8 @@ class ShardSupervisor:
         result: CampaignResult,
         attempts: int,
         telemetry: EngineTelemetry,
+        worker_pid: Optional[int] = None,
+        commit_lag_s: Optional[float] = None,
     ) -> None:
         """Durably journal a completed shard, then report it."""
         label = plan.display_label()
@@ -206,8 +218,17 @@ class ShardSupervisor:
             self.journal.append_shard(
                 plan_index, shard.index, result, attempts, label=label
             )
-            telemetry.checkpoint_written(label, shard.index, shard.count)
-        telemetry.shard_finished(label, shard.index, shard.count, shard.faults)
+            telemetry.checkpoint_written(
+                label, shard.index, shard.count, commit_lag_s=commit_lag_s
+            )
+        telemetry.shard_finished(
+            label,
+            shard.index,
+            shard.count,
+            shard.faults,
+            attempt=attempts,
+            worker_pid=worker_pid,
+        )
 
     def _quarantine(
         self,
@@ -223,7 +244,9 @@ class ShardSupervisor:
         label = plan.display_label()
         if self.journal is not None:
             self.journal.append_quarantine(plan_index, shard.index, attempts, reason)
-        telemetry.shard_quarantined(label, shard.index, shard.count, reason)
+        telemetry.shard_quarantined(
+            label, shard.index, shard.count, reason, attempt=attempts
+        )
         if not self.quarantine_enabled:
             if pool is not None:
                 self._kill_pool(pool)
@@ -257,7 +280,14 @@ class ShardSupervisor:
             attempt = 1
             while True:
                 self._raise_if_interrupted(None)
-                telemetry.shard_started(label, shard.index, shard.count)
+                telemetry.shard_started(
+                    label,
+                    shard.index,
+                    shard.count,
+                    attempt=attempt,
+                    worker_pid=os.getpid(),
+                )
+                attempt_started = time.monotonic()
                 try:
                     result = _run_shard_task(plan, shard, attempt)
                 except Exception as exc:
@@ -267,12 +297,30 @@ class ShardSupervisor:
                             plan_index, plan, shard, attempt, reason, telemetry, None
                         )
                         break
-                    telemetry.shard_retried(label, shard.index, shard.count, reason)
+                    telemetry.shard_retried(
+                        label, shard.index, shard.count, reason, attempt=attempt
+                    )
                     self._sleep(self.policy.backoff_s(shard.seed, attempt))
                     attempt += 1
                     continue
-                self._commit(plan_index, plan, shard, result, attempt, telemetry)
-                yield key, ShardRun(result=result, attempts=attempt, status="completed")
+                duration = time.monotonic() - attempt_started
+                self._commit(
+                    plan_index,
+                    plan,
+                    shard,
+                    result,
+                    attempt,
+                    telemetry,
+                    worker_pid=os.getpid(),
+                    commit_lag_s=0.0 if self.journal is not None else None,
+                )
+                yield key, ShardRun(
+                    result=result,
+                    attempts=attempt,
+                    status="completed",
+                    pickup_latency_s=0.0,
+                    duration_s=duration,
+                )
                 break
 
     # -- parallel path --------------------------------------------------------------
@@ -314,7 +362,9 @@ class ShardSupervisor:
         attempts: Dict[ShardKey, int] = {key: 1 for key in live}
         futures: Dict[ShardKey, object] = {}
         started: Set[ShardKey] = set()
+        submitted_at: Dict[ShardKey, float] = {}
         started_at: Dict[ShardKey, float] = {}
+        done_at: Dict[ShardKey, float] = {}
         collected: Set[ShardKey] = set()
         probing = False
 
@@ -325,6 +375,8 @@ class ShardSupervisor:
             plan_index, plan, shard = by_key[key]
             started.discard(key)
             started_at.pop(key, None)
+            done_at.pop(key, None)
+            submitted_at[key] = time.monotonic()
             try:
                 futures[key] = pool.submit(_run_shard_task, plan, shard, attempts[key])
             except BrokenExecutor:
@@ -336,16 +388,25 @@ class ShardSupervisor:
                 futures[key] = pool.submit(_run_shard_task, plan, shard, attempts[key])
 
         def scan_starts() -> None:
+            """Observe pickups and completions (for telemetry and timing)."""
+            now = time.monotonic()
             for key, future in futures.items():
-                if key in collected or key in started:
+                if key in collected:
                     continue
-                if future.running() or future.done():
+                if key not in started and (future.running() or future.done()):
                     started.add(key)
-                    started_at[key] = time.monotonic()
+                    started_at[key] = now
                     plan_index, plan, shard = by_key[key]
                     telemetry.shard_started(
-                        plan.display_label(), shard.index, shard.count
+                        plan.display_label(),
+                        shard.index,
+                        shard.count,
+                        attempt=attempts[key],
                     )
+                if key not in done_at and future.done() and not future.cancelled():
+                    # First observation of the result being available; the
+                    # gap until head-of-line commit is the checkpoint lag.
+                    done_at[key] = now
 
         def resubmit_pending(except_key: Optional[ShardKey]) -> None:
             """Re-queue every uncollected shard whose future died with the pool."""
@@ -397,12 +458,32 @@ class ShardSupervisor:
                 while True:
                     kind, payload = wait_head(key)
                     if kind == "ok":
+                        now = time.monotonic()
+                        finished_at = done_at.get(key, now)
+                        picked_up = started_at.get(key, finished_at)
+                        pickup = (
+                            picked_up - submitted_at[key]
+                            if key in submitted_at
+                            else None
+                        )
                         self._commit(
-                            plan_index, plan, shard, payload, attempts[key], telemetry
+                            plan_index,
+                            plan,
+                            shard,
+                            payload,
+                            attempts[key],
+                            telemetry,
+                            commit_lag_s=(
+                                now - finished_at if self.journal is not None else None
+                            ),
                         )
                         collected.add(key)
                         yield key, ShardRun(
-                            result=payload, attempts=attempts[key], status="completed"
+                            result=payload,
+                            attempts=attempts[key],
+                            status="completed",
+                            pickup_latency_s=pickup,
+                            duration_s=finished_at - picked_up,
                         )
                         if probing:
                             resubmit_pending(except_key=None)
@@ -446,7 +527,8 @@ class ShardSupervisor:
                                 probing = False
                             break
                         telemetry.shard_retried(
-                            label, shard.index, shard.count, reason
+                            label, shard.index, shard.count, reason,
+                            attempt=attempts[key],
                         )
                         self._raise_if_interrupted(pool)
                         self._sleep(

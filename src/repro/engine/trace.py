@@ -1,0 +1,471 @@
+"""Structured JSONL shard-event traces and straggler analysis.
+
+The engine's telemetry hooks (:mod:`repro.engine.progress`) stream one
+:class:`~repro.engine.progress.ProgressEvent` per shard state change —
+and, until now, threw the stream away once the console line scrolled by.
+This module persists it, the same way the paper's platform persists raw
+blktrace/btt event streams so the Analyzer can classify failures *after*
+the fact, never depending on in-memory state:
+
+- :class:`TraceWriter` is a plain :data:`~repro.engine.progress.ProgressHook`
+  that appends one JSONL record per event (kind, plan label, shard index,
+  attempt, retry reason, wall + monotonic timestamps, cycle counters,
+  worker pid when known, checkpoint commit lag).  Appends are **batched
+  between fsyncs** (``flush_every`` records) so tracing a thousand-shard
+  sweep doesn't serialise on the disk; failure-relevant kinds (retry,
+  quarantine, plan-finished) force an immediate fsync so forensic records
+  survive a crash.
+- :func:`read_trace` replays a trace file, tolerating a torn final line
+  (crash mid-append) exactly like the checkpoint journal's replay.
+- :func:`build_trace_report` / :class:`TraceReport` reconstruct per-shard
+  execution from the event stream and compute the straggler story:
+  p50/p95/max shard duration, the slowest-N shards, retry and quarantine
+  timelines, and checkpoint-commit lag.
+
+The CLI surfaces this as ``repro trace report <path>`` (and grows a
+``--trace PATH`` flag on ``campaign``/``fleet``); benches honour
+``REPRO_BENCH_TRACE`` (see :mod:`benchmarks._common`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, IO, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.progress import PLAN_EVENT_INDEX, ProgressEvent
+from repro.errors import EngineTraceError
+
+PathLike = Union[str, Path]
+
+TRACE_VERSION = 1
+
+EVENT_KINDS = frozenset(
+    {
+        "shard-started",
+        "shard-finished",
+        "shard-retried",
+        "shard-skipped",
+        "shard-quarantined",
+        "checkpoint-written",
+        "plan-finished",
+    }
+)
+
+REQUIRED_FIELDS = (
+    "v",
+    "kind",
+    "plan",
+    "shard",
+    "shard_count",
+    "wall_time_s",
+    "mono_time_s",
+    "shards_done",
+    "shards_total",
+    "cycles_done",
+    "cycles_total",
+    "cycles_skipped",
+    "elapsed_s",
+    "cycles_per_sec",
+)
+"""Fields every trace record must carry (schema sanity checks key off this)."""
+
+_FSYNC_NOW_KINDS = frozenset(
+    {"shard-retried", "shard-quarantined", "plan-finished"}
+)
+"""Kinds whose records are failure forensics — always fsync'd immediately."""
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One replayed trace line (a ProgressEvent plus capture timestamps)."""
+
+    kind: str
+    plan_label: str
+    shard_index: int
+    shard_count: int
+    wall_time_s: float
+    mono_time_s: float
+    shards_done: int
+    shards_total: int
+    cycles_done: int
+    cycles_total: int
+    cycles_skipped: int
+    elapsed_s: float
+    cycles_per_sec: float
+    eta_s: Optional[float] = None
+    attempt: Optional[int] = None
+    worker_pid: Optional[int] = None
+    commit_lag_s: Optional[float] = None
+    detail: str = ""
+
+    @property
+    def shard_key(self) -> Tuple[str, int]:
+        """Consumer key; plan-level events use the sentinel index."""
+        return (self.plan_label, self.shard_index)
+
+
+class TraceWriter:
+    """Progress hook persisting every engine event as one JSONL record.
+
+    Opens lazily on the first event (a traced run that dies before any
+    event leaves no empty litter).  Records are buffered and fsync'd every
+    ``flush_every`` appends — plus immediately for retry/quarantine/
+    plan-finished records — so the trace of a crashed run is complete up
+    to at most ``flush_every - 1`` routine events.
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        flush_every: int = 16,
+        wall_clock: Callable[[], float] = time.time,
+        mono_clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.path = Path(path)
+        self.flush_every = max(1, flush_every)
+        self.records_written = 0
+        self._wall_clock = wall_clock
+        self._mono_clock = mono_clock
+        self._handle: Optional[IO[str]] = None
+        self._unsynced = 0
+
+    # -- hook entry ---------------------------------------------------------------
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.write_event(event)
+
+    def write_event(self, event: ProgressEvent) -> None:
+        """Append one event; fsync per the batching policy."""
+        record = {
+            "v": TRACE_VERSION,
+            "kind": event.kind,
+            "plan": event.plan_label,
+            "shard": event.shard_index,
+            "shard_count": event.shard_count,
+            "wall_time_s": self._wall_clock(),
+            "mono_time_s": self._mono_clock(),
+            "shards_done": event.shards_done,
+            "shards_total": event.shards_total,
+            "cycles_done": event.cycles_done,
+            "cycles_total": event.cycles_total,
+            "cycles_skipped": event.cycles_skipped,
+            "elapsed_s": event.elapsed_s,
+            "cycles_per_sec": event.cycles_per_sec,
+            "eta_s": event.eta_s,
+            "attempt": event.attempt,
+            "worker_pid": event.worker_pid,
+            "commit_lag_s": event.commit_lag_s,
+            "detail": event.detail,
+        }
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.records_written += 1
+        self._unsynced += 1
+        if self._unsynced >= self.flush_every or event.kind in _FSYNC_NOW_KINDS:
+            self.flush()
+
+    # -- durability ---------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Flush and fsync everything appended so far."""
+        if self._handle is not None and self._unsynced:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._unsynced = 0
+
+    def close(self) -> None:
+        """Fsync the tail and release the file handle."""
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- reading ------------------------------------------------------------------------
+
+
+def record_from_dict(payload: Dict) -> TraceRecord:
+    """Build a :class:`TraceRecord` from one decoded JSON object."""
+    missing = [name for name in REQUIRED_FIELDS if name not in payload]
+    if missing:
+        raise EngineTraceError(f"trace record missing fields {missing}")
+    return TraceRecord(
+        kind=payload["kind"],
+        plan_label=payload["plan"],
+        shard_index=int(payload["shard"]),
+        shard_count=int(payload["shard_count"]),
+        wall_time_s=float(payload["wall_time_s"]),
+        mono_time_s=float(payload["mono_time_s"]),
+        shards_done=int(payload["shards_done"]),
+        shards_total=int(payload["shards_total"]),
+        cycles_done=int(payload["cycles_done"]),
+        cycles_total=int(payload["cycles_total"]),
+        cycles_skipped=int(payload["cycles_skipped"]),
+        elapsed_s=float(payload["elapsed_s"]),
+        cycles_per_sec=float(payload["cycles_per_sec"]),
+        eta_s=payload.get("eta_s"),
+        attempt=payload.get("attempt"),
+        worker_pid=payload.get("worker_pid"),
+        commit_lag_s=payload.get("commit_lag_s"),
+        detail=payload.get("detail", "") or "",
+    )
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    """Replay a trace file, tolerating a torn tail.
+
+    A final line that fails to parse or validate is discarded (the writer
+    crashed mid-append); damage anywhere earlier raises
+    :class:`~repro.errors.EngineTraceError`.
+    """
+    trace_path = Path(path)
+    if not trace_path.exists():
+        raise EngineTraceError(f"trace file not found: {trace_path}")
+    lines = trace_path.read_text(encoding="utf-8").splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    records: List[TraceRecord] = []
+    for index, line in enumerate(lines):
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise EngineTraceError("trace line is not an object")
+            records.append(record_from_dict(payload))
+        except (ValueError, EngineTraceError) as exc:
+            if index == len(lines) - 1:
+                break  # torn tail: writer died mid-append
+            raise EngineTraceError(
+                f"corrupt trace record at line {index + 1} of {trace_path}"
+            ) from exc
+    return records
+
+
+# -- analysis -----------------------------------------------------------------------
+
+
+@dataclass
+class ShardProfile:
+    """Execution story of one shard, reconstructed from its events."""
+
+    plan_label: str
+    shard_index: int
+    status: str = "running"  # completed | quarantined | skipped | running
+    attempts: int = 0
+    duration_s: Optional[float] = None
+    commit_lag_s: Optional[float] = None
+    retry_reasons: List[str] = field(default_factory=list)
+    _last_started_mono: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return f"{self.plan_label}#s{self.shard_index}"
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One retry or quarantine occurrence, in run-relative time."""
+
+    elapsed_s: float
+    plan_label: str
+    shard_index: int
+    attempt: Optional[int]
+    reason: str
+
+
+@dataclass
+class TraceReport:
+    """Straggler/retry analysis of one campaign trace."""
+
+    events: int
+    plans: List[str]
+    shards: List[ShardProfile]
+    skipped: int
+    span_s: float
+    cycles_executed: int
+    cycles_skipped: int
+    effective_cycles_per_sec: float
+    duration_p50_s: Optional[float]
+    duration_p95_s: Optional[float]
+    duration_max_s: Optional[float]
+    slowest: List[ShardProfile]
+    retry_timeline: List[TimelineEntry]
+    quarantine_timeline: List[TimelineEntry]
+    commit_lag_p50_s: Optional[float]
+    commit_lag_max_s: Optional[float]
+
+    def render(self) -> str:
+        """Human-readable multi-line report (what the CLI prints)."""
+        lines = [
+            f"trace report: {len(self.plans)} plan(s), {len(self.shards)} shard(s), "
+            f"{self.events} events over {self.span_s:.2f}s",
+            f"  cycles: {self.cycles_executed} executed"
+            + (
+                f" + {self.cycles_skipped} resumed from checkpoint"
+                if self.cycles_skipped
+                else ""
+            )
+            + f"  ({self.effective_cycles_per_sec:.2f} executed cycles/s)",
+        ]
+        if self.duration_p50_s is not None:
+            lines.append(
+                "  shard duration: "
+                f"p50 {self.duration_p50_s:.2f}s  "
+                f"p95 {self.duration_p95_s:.2f}s  "
+                f"max {self.duration_max_s:.2f}s"
+            )
+        if self.slowest:
+            lines.append(f"  slowest {len(self.slowest)} shard(s):")
+            for profile in self.slowest:
+                lines.append(
+                    f"    {profile.name:<40} {profile.duration_s:8.2f}s  "
+                    f"attempts={profile.attempts}"
+                )
+        if self.skipped:
+            lines.append(f"  resumed (skipped) shards: {self.skipped}")
+        lines.append(f"  retries: {len(self.retry_timeline)}")
+        for entry in self.retry_timeline:
+            lines.append(
+                f"    +{entry.elapsed_s:.2f}s {entry.plan_label}#s{entry.shard_index} "
+                f"attempt {entry.attempt if entry.attempt is not None else '?'}: "
+                f"{entry.reason}"
+            )
+        lines.append(f"  quarantined: {len(self.quarantine_timeline)}")
+        for entry in self.quarantine_timeline:
+            lines.append(
+                f"    +{entry.elapsed_s:.2f}s {entry.plan_label}#s{entry.shard_index} "
+                f"after {entry.attempt if entry.attempt is not None else '?'} "
+                f"attempts: {entry.reason}"
+            )
+        if self.commit_lag_p50_s is not None:
+            lines.append(
+                "  checkpoint commit lag: "
+                f"p50 {self.commit_lag_p50_s * 1000.0:.1f}ms  "
+                f"max {self.commit_lag_max_s * 1000.0:.1f}ms"
+            )
+        return "\n".join(lines)
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending sequence (non-empty)."""
+    rank = min(
+        len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[int(rank)]
+
+
+def build_trace_report(
+    records: Sequence[TraceRecord], slowest: int = 5
+) -> TraceReport:
+    """Reconstruct per-shard execution and the straggler story from a trace."""
+    if not records:
+        raise EngineTraceError("trace contains no records")
+    profiles: Dict[Tuple[str, int], ShardProfile] = {}
+    plans: List[str] = []
+    retry_timeline: List[TimelineEntry] = []
+    quarantine_timeline: List[TimelineEntry] = []
+    base_mono = records[0].mono_time_s
+
+    def profile(record: TraceRecord) -> ShardProfile:
+        key = record.shard_key
+        if key not in profiles:
+            profiles[key] = ShardProfile(
+                plan_label=record.plan_label, shard_index=record.shard_index
+            )
+        return profiles[key]
+
+    for record in records:
+        if record.plan_label not in plans:
+            plans.append(record.plan_label)
+        if record.shard_index == PLAN_EVENT_INDEX:
+            continue  # plan-level event, not a shard
+        if record.kind == "shard-started":
+            entry = profile(record)
+            entry.attempts += 1
+            entry._last_started_mono = record.mono_time_s
+        elif record.kind == "shard-finished":
+            entry = profile(record)
+            entry.status = "completed"
+            if record.attempt is not None:
+                entry.attempts = max(entry.attempts, record.attempt)
+            if entry._last_started_mono is not None:
+                entry.duration_s = record.mono_time_s - entry._last_started_mono
+        elif record.kind == "shard-retried":
+            entry = profile(record)
+            entry.retry_reasons.append(record.detail)
+            retry_timeline.append(
+                TimelineEntry(
+                    elapsed_s=record.mono_time_s - base_mono,
+                    plan_label=record.plan_label,
+                    shard_index=record.shard_index,
+                    attempt=record.attempt,
+                    reason=record.detail,
+                )
+            )
+        elif record.kind == "shard-skipped":
+            entry = profile(record)
+            entry.status = "skipped"
+        elif record.kind == "shard-quarantined":
+            entry = profile(record)
+            entry.status = "quarantined"
+            if record.attempt is not None:
+                entry.attempts = max(entry.attempts, record.attempt)
+            quarantine_timeline.append(
+                TimelineEntry(
+                    elapsed_s=record.mono_time_s - base_mono,
+                    plan_label=record.plan_label,
+                    shard_index=record.shard_index,
+                    attempt=record.attempt,
+                    reason=record.detail,
+                )
+            )
+        elif record.kind == "checkpoint-written":
+            if record.commit_lag_s is not None:
+                profile(record).commit_lag_s = record.commit_lag_s
+
+    shards = list(profiles.values())
+    durations = sorted(
+        p.duration_s for p in shards if p.duration_s is not None
+    )
+    lags = sorted(p.commit_lag_s for p in shards if p.commit_lag_s is not None)
+    ranked = sorted(
+        (p for p in shards if p.duration_s is not None),
+        key=lambda p: p.duration_s,
+        reverse=True,
+    )
+    last = records[-1]
+    span = last.mono_time_s - base_mono
+    return TraceReport(
+        events=len(records),
+        plans=plans,
+        shards=shards,
+        skipped=sum(1 for p in shards if p.status == "skipped"),
+        span_s=span,
+        cycles_executed=last.cycles_done - last.cycles_skipped,
+        cycles_skipped=last.cycles_skipped,
+        effective_cycles_per_sec=last.cycles_per_sec,
+        duration_p50_s=_percentile(durations, 0.50) if durations else None,
+        duration_p95_s=_percentile(durations, 0.95) if durations else None,
+        duration_max_s=durations[-1] if durations else None,
+        slowest=ranked[: max(0, slowest)],
+        retry_timeline=retry_timeline,
+        quarantine_timeline=quarantine_timeline,
+        commit_lag_p50_s=_percentile(lags, 0.50) if lags else None,
+        commit_lag_max_s=lags[-1] if lags else None,
+    )
+
+
+def load_trace_report(path: PathLike, slowest: int = 5) -> TraceReport:
+    """Convenience wrapper: :func:`read_trace` then :func:`build_trace_report`."""
+    return build_trace_report(read_trace(path), slowest=slowest)

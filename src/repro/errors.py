@@ -94,3 +94,11 @@ class CheckpointError(ReproError):
 
 class TraceError(ReproError):
     """The block-layer tracer was queried for an unknown request or event."""
+
+
+class EngineTraceError(ReproError):
+    """An engine telemetry trace file is unreadable or internally corrupt.
+
+    As with the checkpoint journal, a torn *final* record (crash mid-append)
+    is tolerated on read; damage anywhere before the tail raises.
+    """

@@ -79,6 +79,32 @@ class TestParser:
         assert args.quarantine is True
         assert args.shard_timeout == 90.0
 
+    @pytest.mark.parametrize("command", ["campaign", "fleet"])
+    def test_trace_flag(self, command, tmp_path):
+        assert build_parser().parse_args([command]).trace is None
+        args = build_parser().parse_args(
+            [command, "--trace", str(tmp_path / "run.trace.jsonl")]
+        )
+        assert args.trace.endswith("run.trace.jsonl")
+
+    def test_trace_report_subcommand(self):
+        args = build_parser().parse_args(["trace", "report", "run.trace.jsonl"])
+        assert args.trace_command == "report"
+        assert args.path == "run.trace.jsonl"
+        assert args.top == 5
+        assert build_parser().parse_args(
+            ["trace", "report", "x", "--top", "3"]
+        ).top == 3
+        with pytest.raises(SystemExit):  # the subcommand is required
+            build_parser().parse_args(["trace"])
+
+    def test_checkpoint_compact_subcommand(self):
+        args = build_parser().parse_args(["checkpoint", "compact", "ck.jsonl"])
+        assert args.checkpoint_command == "compact"
+        assert args.path == "ck.jsonl"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["checkpoint"])
+
 
 class TestCommands:
     def test_list_devices(self, capsys):
@@ -173,6 +199,60 @@ class TestCommands:
         assert "campaign summary" in first.out
         assert "1 quarantined" in first.err
         assert main(argv + ["--quarantine"]) == 0
+
+    def test_campaign_trace_then_report(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.jsonl"
+        assert main(
+            [
+                "campaign",
+                "--faults", "2",
+                "--shard-faults", "1",
+                "--wss-gib", "4",
+                "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert trace.exists()
+        assert main(["trace", "report", str(trace), "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace report:" in out
+        assert "2 shard(s)" in out
+        assert "shard duration:" in out
+        assert "retries: 0" in out
+
+    def test_trace_report_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_trace_report_empty_file(self, capsys, tmp_path):
+        path = tmp_path / "empty.trace.jsonl"
+        path.write_text("")
+        assert main(["trace", "report", str(path)]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_checkpoint_compact_flow(self, capsys, tmp_path):
+        journal = tmp_path / "ck.jsonl"
+        argv = [
+            "campaign",
+            "--faults", "2",
+            "--shard-faults", "1",
+            "--wss-gib", "4",
+            "--checkpoint", str(journal),
+        ]
+        assert main(argv) == 0  # journals 2 shards
+        assert main(argv) == 0  # no --resume: journals 2 duplicates
+        capsys.readouterr()
+        assert main(["checkpoint", "compact", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "4 -> 2 records" in out
+        assert "2 duplicates" in out
+        # The compacted journal still resumes the run in full.
+        assert main(argv + ["--resume"]) == 0
+        assert "2 resumed from checkpoint" in capsys.readouterr().err
+
+    def test_checkpoint_compact_missing_file(self, capsys, tmp_path):
+        assert main(["checkpoint", "compact", str(tmp_path / "nope.jsonl")]) == 2
+        assert "not found" in capsys.readouterr().err
 
     def test_post_ack_bad_intervals(self, capsys):
         assert main(["post-ack", "--intervals", "abc"]) == 2

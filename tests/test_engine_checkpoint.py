@@ -10,9 +10,10 @@ import json
 import pytest
 
 from repro.core.results import CampaignResult, FaultCycleResult
-from repro.engine import CampaignPlan, plans_fingerprint
+from repro.engine import CampaignPlan, plans_fingerprint, run_plan
 from repro.engine.checkpoint import (
     CheckpointJournal,
+    compact_journal,
     load_resume_state,
     result_from_record,
     result_to_record,
@@ -161,6 +162,88 @@ class TestJournalReplay:
             journal.append_shard(0, 1, make_result(), attempts=1)
         state = load_resume_state(path, "fp-1")
         assert set(state.results) == {(0, 0), (0, 1)}
+
+
+class TestCompaction:
+    def test_keeps_one_latest_record_per_shard(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointJournal(path, "fp-1") as journal:
+            journal.append_shard(0, 0, make_result(loss=1), attempts=1)
+            journal.append_shard(0, 1, make_result(), attempts=1)
+            journal.append_shard(0, 0, make_result(loss=9), attempts=2)
+        stats = compact_journal(path)
+        assert stats.records_in == 3
+        assert stats.records_out == 2
+        assert stats.duplicates_dropped == 1
+        # Replay still sees the latest record for the duplicated shard.
+        state = load_resume_state(path, "fp-1")
+        assert state.results[(0, 0)].data_failures == 2 * 9
+        assert state.attempts[(0, 0)] == 2
+
+    def test_quarantine_records_dropped(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointJournal(path, "fp-1") as journal:
+            journal.append_shard(0, 0, make_result(), attempts=1)
+            journal.append_quarantine(0, 1, attempts=3, reason="poison")
+        stats = compact_journal(path)
+        assert stats.quarantine_dropped == 1
+        assert stats.records_out == 1
+        assert load_resume_state(path, "fp-1").quarantine_records == 0
+
+    def test_other_fingerprints_survive(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointJournal(path, "fp-old") as journal:
+            journal.append_shard(0, 0, make_result("old"), attempts=1)
+        with CheckpointJournal(path, "fp-new") as journal:
+            journal.append_shard(0, 0, make_result("new"), attempts=1)
+        stats = compact_journal(path)
+        # Distinct fingerprints are distinct shards; neither is a duplicate.
+        assert stats.records_out == 2
+        assert load_resume_state(path, "fp-old").results[(0, 0)].label == "old"
+        assert load_resume_state(path, "fp-new").results[(0, 0)].label == "new"
+
+    def test_torn_tail_discarded_and_reported(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointJournal(path, "fp-1") as journal:
+            journal.append_shard(0, 0, make_result(), attempts=1)
+            journal.append_shard(0, 1, make_result(), attempts=1)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        stats = compact_journal(path)
+        assert stats.torn_tail_dropped
+        assert stats.records_out == 1
+        state = load_resume_state(path, "fp-1")
+        assert set(state.results) == {(0, 0)}
+        assert not state.dropped_tail  # the torn line is physically gone now
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        with CheckpointJournal(path, "fp-1") as journal:
+            journal.append_shard(0, 0, make_result(), attempts=1)
+            journal.append_shard(0, 1, make_result(), attempts=1)
+        lines = path.read_text().splitlines()
+        path.write_text(lines[0][: len(lines[0]) // 2] + "\n" + lines[1] + "\n")
+        with pytest.raises(CheckpointError):
+            compact_journal(path)
+        # The journal must be untouched when compaction refuses to run.
+        assert path.read_text().splitlines()[1] == lines[1]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            compact_journal(tmp_path / "nope.jsonl")
+
+    def test_compacted_journal_still_resumes_a_real_run(self, tmp_path):
+        """End-to-end: duplicate by re-running, compact, resume from it."""
+        path = tmp_path / "ck.jsonl"
+        plan = make_plan()
+        first = run_plan(plan, jobs=1, checkpoint=path)
+        run_plan(plan, jobs=1, checkpoint=path)  # no resume: journals again
+        stats = compact_journal(path)
+        assert stats.duplicates_dropped == plan.shard_count()
+        assert stats.records_out == plan.shard_count()
+        resumed = run_plan(plan, jobs=1, checkpoint=path, resume=True)
+        assert resumed.execution.shards_resumed == plan.shard_count()
+        assert resumed.summary() == first.summary()
 
 
 class TestPlanFingerprint:
