@@ -19,7 +19,9 @@ job count, so bench results depend only on the scale — never on how many
 workers executed them.  Campaigns of ``<= BENCH_SHARD_FAULTS`` faults
 (every family at the default smoke scale) are a single shard seeded
 exactly like the legacy serial runner, so historical numbers are
-unchanged.
+unchanged.  ``REPRO_BENCH_WORKERS=HOST:PORT`` instead serves shards to
+``repro worker`` processes over TCP (see :func:`bench_listen`) — same
+numbers, other people's machines.
 
 Fault tolerance: campaigns run under the engine's shard supervisor.
 ``REPRO_BENCH_MAX_RETRIES`` bounds per-shard retries (default 2),
@@ -61,6 +63,19 @@ faults split into 8-32 parallelisable shards)."""
 def bench_jobs() -> int:
     """Engine worker count from the environment (default serial)."""
     return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_listen() -> Optional[str]:
+    """Distributed-coordinator address (``REPRO_BENCH_WORKERS``).
+
+    Set ``REPRO_BENCH_WORKERS=HOST:PORT`` to serve every bench campaign's
+    shards to ``repro worker --connect HOST:PORT`` processes over TCP
+    instead of executing locally (port 0 picks a free port, printed to
+    stderr).  Results are identical to local runs — the shard plan and
+    seeds never depend on who executes them — so a paper-scale sweep can
+    borrow machines without changing a single number.
+    """
+    return os.environ.get("REPRO_BENCH_WORKERS") or None
 
 
 def bench_shard_timeout() -> Optional[float]:
@@ -156,6 +171,7 @@ def run_campaign(
             resume=checkpoint is not None,
             max_retries=bench_max_retries(),
             shard_timeout_s=bench_shard_timeout(),
+            listen=bench_listen(),
         )
     finally:
         if tracer is not None:

@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""End-to-end distributed-execution smoke test (used by CI).
+
+Two phases, both against a real ``--listen`` coordinator process and real
+``repro worker`` subprocesses over loopback TCP:
+
+**Phase A — worker loss.**  A checkpointed, traced campaign serves its
+shards to two workers (artificially slowed so shards stay in flight);
+once the journal has committed at least one shard, one worker is
+SIGKILLed mid-run.  The campaign must still complete (exit 0), the
+surviving worker must shut down cleanly, and the summary table must be
+byte-identical to an uninterrupted serial run.
+
+**Phase B — coordinator loss.**  A second distributed run is SIGTERMed
+at the coordinator once the journal is non-empty (exit 130), then
+resumed *locally* with ``--resume`` — proving a distributed run's
+checkpoint is the same artifact a local run writes — and the resumed
+summary must again match the serial baseline.
+
+Traces from both phases are schema-checked with the validator from
+``resume_smoke.py``.  Set ``DISTRIBUTED_SMOKE_TRACE_DIR`` to keep the
+trace files (CI uploads them as artifacts).
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/distributed_smoke.py
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from resume_smoke import check_trace_schema, cli_env, run_cli, summary_table
+
+ARGS = [
+    "campaign",
+    "--faults", "6",
+    "--shard-faults", "1",
+    "--wss-gib", "4",
+]
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+TRACE_DIR_ENV = "DISTRIBUTED_SMOKE_TRACE_DIR"
+
+
+def free_port():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def start_coordinator(port, checkpoint, trace, extra=()):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *ARGS,
+         "--listen", f"127.0.0.1:{port}",
+         "--checkpoint", str(checkpoint), "--trace", str(trace), *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=cli_env(),
+    )
+
+
+def start_worker(port, shard_seconds):
+    env = cli_env()
+    env[FAULT_ENV] = f"slow:*:*:{shard_seconds}"  # keep shards in flight
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}", "--connect-timeout", "30"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def wait_for_first_commit(proc, checkpoint, timeout=300):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline and proc.poll() is None:
+        if checkpoint.exists() and checkpoint.stat().st_size > 0:
+            return True
+        time.sleep(0.1)
+    return checkpoint.exists() and checkpoint.stat().st_size > 0
+
+
+def drain(proc, timeout=60):
+    try:
+        proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+    return proc.returncode
+
+
+def trace_attributes_workers(path):
+    """True when some record names a distributed worker (``host:pid``)."""
+    import json
+
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        pid = record.get("worker_pid")
+        if isinstance(pid, str) and ":" in pid:
+            return True
+    return False
+
+
+def phase_a(tmp, trace_dir, baseline_table):
+    print("--- phase A: SIGKILL a worker mid-run ---")
+    checkpoint = Path(tmp) / "a.ck.jsonl"
+    trace = trace_dir / "distributed-a.trace.jsonl"
+    port = free_port()
+    coordinator = start_coordinator(port, checkpoint, trace)
+    workers = [start_worker(port, 0.5) for _ in range(2)]
+    try:
+        if not wait_for_first_commit(coordinator, checkpoint):
+            print("FAIL: no shard was ever committed")
+            return 1
+        os.kill(workers[0].pid, signal.SIGKILL)
+        print(f"killed worker pid {workers[0].pid} after first commit")
+        try:
+            out, err = coordinator.communicate(timeout=300)
+        except subprocess.TimeoutExpired:
+            coordinator.kill()
+            coordinator.communicate()
+            print("FAIL: coordinator hung after losing a worker")
+            return 1
+    finally:
+        codes = [drain(worker) for worker in workers]
+
+    if coordinator.returncode != 0:
+        print(f"FAIL: coordinator exited {coordinator.returncode}\n{err}")
+        return 1
+    if codes[0] != -signal.SIGKILL:
+        print(f"FAIL: killed worker exited {codes[0]}, expected SIGKILL")
+        return 1
+    if codes[1] != 0:
+        print(f"FAIL: surviving worker exited {codes[1]}, expected 0")
+        return 1
+    if summary_table(out) != baseline_table:
+        print("FAIL: distributed summary differs from serial baseline")
+        print(out)
+        return 1
+    error = check_trace_schema(trace)
+    if error:
+        print(f"FAIL: {error}")
+        return 1
+    if not trace_attributes_workers(trace):
+        print("FAIL: trace records never attributed a host:pid worker")
+        return 1
+    print("phase A ok: campaign survived the kill, summary matches serial")
+    return 0
+
+
+def phase_b(tmp, trace_dir, baseline_table):
+    print("--- phase B: SIGTERM the coordinator, resume locally ---")
+    checkpoint = Path(tmp) / "b.ck.jsonl"
+    trace = trace_dir / "distributed-b.trace.jsonl"
+    port = free_port()
+    coordinator = start_coordinator(port, checkpoint, trace)
+    workers = [start_worker(port, 0.8) for _ in range(2)]
+    try:
+        if not wait_for_first_commit(coordinator, checkpoint):
+            print("FAIL: no shard was ever committed")
+            return 1
+        if coordinator.poll() is None:
+            coordinator.send_signal(signal.SIGTERM)
+        try:
+            _, err = coordinator.communicate(timeout=300)
+        except subprocess.TimeoutExpired:
+            coordinator.kill()
+            coordinator.communicate()
+            print("FAIL: coordinator did not exit after SIGTERM")
+            return 1
+    finally:
+        # Orphaned workers notice the dead socket and exit on their own
+        # (connection lost = 3); a worker that drained the shutdown frame
+        # first exits 0.
+        codes = [drain(worker) for worker in workers]
+
+    if coordinator.returncode == 130:
+        print(f"interrupted mid-run (exit 130); workers exited {codes}")
+    elif coordinator.returncode == 0:
+        print("coordinator finished before the signal landed; resume is a no-op")
+    else:
+        print(f"FAIL: unexpected coordinator exit {coordinator.returncode}\n{err}")
+        return 1
+    if any(code not in (0, 3) for code in codes):
+        print(f"FAIL: orphaned workers exited {codes}, expected 0 or 3")
+        return 1
+
+    resumed = run_cli(
+        ARGS + ["--jobs", "2", "--checkpoint", str(checkpoint), "--resume"],
+        cli_env(),
+    )
+    if resumed.returncode != 0:
+        print(f"FAIL: local resume exited {resumed.returncode}\n{resumed.stderr}")
+        return 1
+    print(f"resume: {resumed.stderr.strip() or '(no shards needed resuming)'}")
+    if summary_table(resumed.stdout) != baseline_table:
+        print("FAIL: resumed summary differs from serial baseline")
+        print(resumed.stdout)
+        return 1
+    if trace.exists():
+        error = check_trace_schema(trace)
+        if error:
+            print(f"FAIL: {error}")
+            return 1
+    print("phase B ok: distributed checkpoint resumed locally, summary matches")
+    return 0
+
+
+def main():
+    env = cli_env()
+    baseline = run_cli(ARGS + ["--jobs", "1"], env)
+    if baseline.returncode != 0:
+        print(f"FAIL: baseline exited {baseline.returncode}\n{baseline.stderr}")
+        return 1
+    baseline_table = summary_table(baseline.stdout)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_dir = Path(os.environ.get(TRACE_DIR_ENV) or tmp)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        for phase in (phase_a, phase_b):
+            code = phase(tmp, trace_dir, baseline_table)
+            if code:
+                return code
+
+    print("OK: distributed execution matches serial through kills and resume")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -76,6 +76,23 @@ def _add_fault_tolerance_flags(command: argparse.ArgumentParser) -> None:
         default=None,
         help="append per-shard telemetry to a JSONL trace (see `repro trace report`)",
     )
+    command.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "serve shards to `repro worker` processes over TCP instead of "
+            "running them locally (port 0 picks a free port; ignores --jobs)"
+        ),
+    )
+    command.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="requeue a shard whose worker stops heartbeating for this long "
+        "(with --listen; default 15)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,6 +168,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; the fleet's per-device shards run concurrently",
     )
     _add_fault_tolerance_flags(fleet)
+
+    worker = sub.add_parser(
+        "worker",
+        help="execute shards for a coordinator started with --listen",
+    )
+    worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address printed by `repro campaign/fleet --listen`",
+    )
+    worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to keep retrying the initial connection (default 10)",
+    )
 
     trace = sub.add_parser(
         "trace", help="inspect engine telemetry traces (written with --trace)"
@@ -238,6 +273,8 @@ def _engine_kwargs(args: argparse.Namespace) -> dict:
         "max_retries": args.max_retries,
         "shard_timeout_s": args.shard_timeout,
         "quarantine": True,
+        "listen": args.listen,
+        "lease_timeout_s": args.lease_timeout,
     }
 
 
@@ -401,6 +438,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.engine import run_worker
+
+    return run_worker(args.connect, connect_timeout_s=args.connect_timeout)
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -509,6 +552,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
         print("--resume requires --checkpoint PATH", file=sys.stderr)
         return 2
+    if getattr(args, "lease_timeout", None) is not None and not getattr(
+        args, "listen", None
+    ):
+        print("--lease-timeout requires --listen HOST:PORT", file=sys.stderr)
+        return 2
     try:
         return _dispatch(args)
     except CampaignInterrupted as exc:
@@ -529,6 +577,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_smart(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
+    if args.command == "worker":
+        return _cmd_worker(args)
     if args.command == "trace":
         return _cmd_trace_report(args)
     if args.command == "checkpoint":

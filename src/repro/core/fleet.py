@@ -85,6 +85,8 @@ def run_fleet(
     shard_timeout_s: Optional[float] = None,
     quarantine: bool = False,
     engine_progress=None,
+    listen: Optional[str] = None,
+    lease_timeout_s: Optional[float] = None,
 ) -> Dict[str, CampaignResult]:
     """One campaign per device through the execution engine.
 
@@ -104,6 +106,11 @@ def run_fleet(
     supervisor — with quarantine on, a poisoned shard degrades one
     device's result (see ``result.execution``) instead of killing the
     whole fleet.
+
+    ``listen="HOST:PORT"`` serves the fleet's shards to ``repro worker``
+    processes over TCP instead of executing locally (``jobs`` is then
+    ignored); ``lease_timeout_s`` bounds how long a silent worker keeps a
+    shard before it is requeued.  Merged results are identical either way.
     """
     from repro.engine import run_plans
 
@@ -134,6 +141,8 @@ def run_fleet(
         max_retries=max_retries,
         shard_timeout_s=shard_timeout_s,
         quarantine=quarantine,
+        listen=listen,
+        lease_timeout_s=lease_timeout_s,
     )
     return {plan.label: results[plan.label] for plan in plans}
 

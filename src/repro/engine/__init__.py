@@ -65,6 +65,12 @@ from repro.engine.progress import (
     ProgressEvent,
     ProgressHook,
 )
+from repro.engine.remote import (
+    parse_address,
+    RemoteExecutor,
+    run_worker,
+    worker_identity,
+)
 from repro.engine.supervisor import RetryPolicy, ShardRun, ShardSupervisor
 from repro.engine.trace import (
     build_trace_report,
@@ -128,6 +134,8 @@ def run_plans(
     shard_timeout_s: Optional[float] = None,
     quarantine: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
+    listen: Optional[str] = None,
+    lease_timeout_s: Optional[float] = None,
 ) -> List[CampaignResult]:
     """Execute several plans through one supervised executor, merging per plan.
 
@@ -146,6 +154,15 @@ def run_plans(
     of re-executed, which yields a merged result identical to an
     uninterrupted run.  Passing an explicit ``executor`` bypasses all
     supervision options (combining them is an error).
+
+    Distributed execution: ``listen="HOST:PORT"`` serves the shard queue
+    over TCP via :class:`~repro.engine.remote.RemoteExecutor` instead of
+    running shards locally — start ``repro worker --connect HOST:PORT``
+    processes (any machine that can reach the coordinator) to execute
+    them.  ``lease_timeout_s`` bounds how long a silent worker holds a
+    shard before it is requeued.  Retries, quarantine, checkpoint and
+    resume semantics are identical to local execution; ``jobs`` is
+    ignored (the worker fleet is the parallelism).
     """
     supervision_requested = (
         checkpoint is not None
@@ -154,7 +171,11 @@ def run_plans(
         or shard_timeout_s is not None
         or quarantine
         or retry_policy is not None
+        or listen is not None
+        or lease_timeout_s is not None
     )
+    if lease_timeout_s is not None and listen is None:
+        raise CampaignError("lease_timeout_s requires listen=HOST:PORT")
     if executor is not None and supervision_requested:
         raise CampaignError(
             "pass either an explicit executor or supervision options, not both"
@@ -176,14 +197,27 @@ def run_plans(
             if resume:
                 resume_state = load_resume_state(checkpoint, fingerprint)
             journal = CheckpointJournal(checkpoint, fingerprint)
-        executor = ShardSupervisor(
-            jobs=jobs if jobs is not None else 1,
-            shard_timeout_s=shard_timeout_s,
-            policy=policy,
-            journal=journal,
-            resume=resume_state,
-            quarantine_enabled=quarantine,
-        )
+        if listen is not None:
+            executor = RemoteExecutor(
+                listen=listen,
+                policy=policy,
+                journal=journal,
+                resume=resume_state,
+                quarantine_enabled=quarantine,
+                shard_timeout_s=shard_timeout_s,
+                lease_timeout_s=(
+                    lease_timeout_s if lease_timeout_s is not None else 15.0
+                ),
+            )
+        else:
+            executor = ShardSupervisor(
+                jobs=jobs if jobs is not None else 1,
+                shard_timeout_s=shard_timeout_s,
+                policy=policy,
+                journal=journal,
+                resume=resume_state,
+                quarantine_enabled=quarantine,
+            )
     tasks: List[ShardTask] = [
         (plan_index, plan, shard)
         for plan_index, plan in enumerate(plans)
@@ -233,6 +267,8 @@ def run_plan(
     shard_timeout_s: Optional[float] = None,
     quarantine: bool = False,
     retry_policy: Optional[RetryPolicy] = None,
+    listen: Optional[str] = None,
+    lease_timeout_s: Optional[float] = None,
 ) -> CampaignResult:
     """Execute one plan and return its merged campaign result."""
     return run_plans(
@@ -246,6 +282,8 @@ def run_plan(
         shard_timeout_s=shard_timeout_s,
         quarantine=quarantine,
         retry_policy=retry_policy,
+        listen=listen,
+        lease_timeout_s=lease_timeout_s,
     )[0]
 
 
@@ -261,6 +299,7 @@ __all__ = [
     "ParallelExecutor",
     "ProgressEvent",
     "ProgressHook",
+    "RemoteExecutor",
     "ResumeState",
     "RetryPolicy",
     "SerialExecutor",
@@ -279,8 +318,11 @@ __all__ = [
     "load_trace_report",
     "make_executor",
     "merge_shard_results",
+    "parse_address",
     "plans_fingerprint",
     "read_trace",
     "run_plan",
     "run_plans",
+    "run_worker",
+    "worker_identity",
 ]

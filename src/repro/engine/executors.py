@@ -36,7 +36,51 @@ from repro.errors import CampaignError
 ShardTask = Tuple[int, CampaignPlan, ShardSpec]
 ShardKey = Tuple[int, int]
 
-_POLL_INTERVAL_S = 0.05
+POLL_BASE_S = 0.005
+"""First delay of a head-of-line poll loop (seconds)."""
+
+POLL_CAP_S = 0.25
+"""Ceiling of the exponential poll schedule (seconds)."""
+
+
+class BackoffPoller:
+    """Capped exponential delay schedule for busy-wait loops.
+
+    Head-of-line waits used to poll at a fixed 0.05 s: responsive for
+    sub-second shards, but a long shard burned 20 wakeups/s of pure idle
+    churn per waiting loop.  The poller starts fast and doubles up to a
+    cap, so short waits still resolve in milliseconds while a multi-minute
+    shard costs 4 wakeups/s at most:
+
+    >>> poller = BackoffPoller()
+    >>> [poller.next_delay() for _ in range(8)]
+    [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.25, 0.25]
+
+    ``reset()`` drops back to the base delay — call it when the awaited
+    state changes (a new pickup observed, an event processed), because
+    progress means more progress is likely soon.
+    """
+
+    def __init__(
+        self,
+        base_s: float = POLL_BASE_S,
+        cap_s: float = POLL_CAP_S,
+        factor: float = 2.0,
+    ) -> None:
+        self.base_s = base_s
+        self.cap_s = max(base_s, cap_s)
+        self.factor = factor
+        self._current = base_s
+
+    def next_delay(self) -> float:
+        """The delay to sleep now; advances the schedule."""
+        delay = min(self._current, self.cap_s)
+        self._current = min(self._current * self.factor, self.cap_s)
+        return delay
+
+    def reset(self) -> None:
+        """Drop back to the base delay (the awaited state just changed)."""
+        self._current = self.base_s
 
 TEST_FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
 """Injectable shard-failure fixture for the engine's own failure-path tests.
@@ -191,15 +235,22 @@ class ParallelExecutor:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def _await(self, future, emit_new_starts):
-        """Head-of-line wait: poll so pickups are observed, honour timeout."""
+        """Head-of-line wait: poll so pickups are observed, honour timeout.
+
+        The poll interval follows a capped exponential schedule (see
+        :class:`BackoffPoller`): short shards resolve within milliseconds,
+        long shards cost at most ~4 idle wakeups per second instead of the
+        20/s a fixed interval burned.
+        """
         deadline = (
             None
             if self.shard_timeout_s is None
             else time.monotonic() + self.shard_timeout_s
         )
+        poller = BackoffPoller()
         while True:
             emit_new_starts()
-            wait_s = _POLL_INTERVAL_S
+            wait_s = poller.next_delay()
             if deadline is not None:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:

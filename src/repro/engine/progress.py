@@ -19,7 +19,7 @@ from __future__ import annotations
 import sys
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional, TextIO
+from typing import Callable, Optional, TextIO, Union
 
 PLAN_EVENT_INDEX = -1
 """Sentinel ``shard_index`` for plan-level events (``plan-finished``).
@@ -42,8 +42,10 @@ class ProgressEvent:
     :data:`PLAN_EVENT_INDEX` sentinel, never a real shard).
 
     ``attempt`` is the attempt number the event describes (``None`` when
-    not applicable); ``worker_pid`` is the executing process when the
-    emitter knows it (in-process execution — pool workers are anonymous);
+    not applicable); ``worker_pid`` identifies the executing worker when
+    the emitter knows it — a bare pid for in-process execution (pool
+    workers are anonymous), or a ``"host:pid"`` string for distributed
+    workers, so trace reports can attribute stragglers to machines;
     ``commit_lag_s`` (checkpoint-written only) is how long a finished
     shard result waited before being durably journaled.
     """
@@ -62,7 +64,7 @@ class ProgressEvent:
     detail: str = ""
     cycles_skipped: int = 0
     attempt: Optional[int] = None
-    worker_pid: Optional[int] = None
+    worker_pid: Optional[Union[int, str]] = None
     commit_lag_s: Optional[float] = None
 
 
@@ -157,7 +159,7 @@ class EngineTelemetry:
         index: int,
         count: int,
         attempt: Optional[int] = None,
-        worker_pid: Optional[int] = None,
+        worker_pid: Optional[Union[int, str]] = None,
     ) -> None:
         """A shard began executing (a worker actually picked it up)."""
         self._emit(
@@ -176,7 +178,7 @@ class EngineTelemetry:
         count: int,
         cycles: int,
         attempt: Optional[int] = None,
-        worker_pid: Optional[int] = None,
+        worker_pid: Optional[Union[int, str]] = None,
     ) -> None:
         """A shard completed; fold its cycles into the throughput estimate."""
         self.shards_done += 1
@@ -265,7 +267,7 @@ class EngineTelemetry:
         count: int,
         detail: str = "",
         attempt: Optional[int] = None,
-        worker_pid: Optional[int] = None,
+        worker_pid: Optional[Union[int, str]] = None,
         commit_lag_s: Optional[float] = None,
     ) -> None:
         if self._hook is None:

@@ -1,0 +1,902 @@
+"""Distributed shard execution over TCP: coordinator, worker, RemoteExecutor.
+
+The paper's testbed runs thousands of power-cut experiments per drive;
+one host's process pool is the wrong ceiling for that.  This module takes
+the engine's executor protocol — ``execute(tasks, telemetry) -> (key,
+ShardRun)`` — across machine boundaries while changing nothing above it:
+merge order, checkpoint journal, resume, retry/quarantine policy and the
+trace vocabulary are exactly the single-host ones.
+
+Wire protocol (version 1)
+-------------------------
+Frames are **length-prefixed JSON objects**: a 4-byte big-endian unsigned
+payload length followed by that many bytes of UTF-8 JSON.  Frames above
+:data:`MAX_FRAME_BYTES` are rejected.  The conversation:
+
+1. ``hello``    (worker → coordinator): ``{v, worker, fingerprint}``.
+   ``worker`` is the worker's identity (``host:pid``); ``fingerprint`` is
+   the plan-batch fingerprint the worker already holds (``null`` on a
+   fresh connect).  A version mismatch or a stale fingerprint draws a
+   ``reject`` frame and the connection closes — a worker hydrated for a
+   different campaign can never execute shards of this one.
+2. ``welcome``  (coordinator → worker): ``{v, fingerprint, plans,
+   lease_timeout_s, heartbeat_s}``.  ``plans`` is the pickled, base64'd
+   plan batch; the worker re-derives :func:`plans_fingerprint` after
+   hydration and aborts on any mismatch (codec drift detection).  The
+   protocol trusts its network exactly as much as ``multiprocessing``
+   trusts its fork: plans travel as pickles, so only run coordinators on
+   networks you trust.
+3. Work loop (repeated): worker sends ``request``; coordinator answers
+   ``shard {plan, shard, attempt}`` (a **lease**), ``wait {delay_s}``
+   (nothing leasable right now) or ``shutdown`` (campaign complete).
+   While executing, the worker's heartbeat thread sends ``heartbeat
+   {plan, shard}`` every ``heartbeat_s`` to renew the lease; the shard
+   concludes with ``result {plan, shard, attempt, result}`` (the
+   checkpoint codec's :func:`result_to_record` record — the journal's
+   on-disk format *is* the wire format) or ``failure {plan, shard,
+   attempt, error}``.
+
+Leases
+------
+A lease is the coordinator's only claim about a worker: *this shard is
+being executed by that connection until the deadline*.  Heartbeats move
+the deadline; a worker that dies (connection drops) or wedges (heartbeats
+stop) loses the lease and the shard returns to the queue, charged one
+attempt, to be retried under the same
+:class:`~repro.engine.supervisor.RetryPolicy` backoff/quarantine
+machinery as local execution.  Because shard seeds are deterministic, a
+shard re-executed by a different machine returns a bit-identical result —
+which is what makes the merged summary of a distributed, worker-killed
+run equal the serial run's, byte for byte.
+
+Commits all flow through the coordinator's single
+:class:`~repro.engine.checkpoint.CheckpointJournal`, so ``--resume``
+works identically for local and distributed runs (and a journal written
+by one can resume the other).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import socket
+import struct
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.checkpoint import (
+    CheckpointJournal,
+    ResumeState,
+    plans_fingerprint,
+    result_from_record,
+    result_to_record,
+)
+from repro.engine.executors import BackoffPoller, ShardKey, ShardTask, _run_shard_task
+from repro.engine.progress import EngineTelemetry
+from repro.engine.supervisor import (
+    InterruptFlag,
+    interrupt_flag_guard,
+    RetryPolicy,
+    ShardRun,
+)
+from repro.errors import (
+    CampaignError,
+    CampaignInterrupted,
+    RemoteProtocolError,
+    ShardFailureError,
+)
+
+PROTOCOL_VERSION = 1
+"""Wire protocol version; both ends must agree exactly."""
+
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+"""Upper bound on one frame's payload (a plan batch or shard result)."""
+
+DEFAULT_LEASE_TIMEOUT_S = 15.0
+"""Lease lifetime without a heartbeat before the shard is requeued."""
+
+_HEADER = struct.Struct(">I")
+
+
+# -- frame codec --------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: Dict) -> None:
+    """Serialize one JSON frame onto the socket (length-prefixed)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at offset 0."""
+    chunks: List[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise RemoteProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"declared frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise RemoteProtocolError("connection closed between header and payload")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise RemoteProtocolError(f"frame is not valid JSON: {exc!r}") from exc
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise RemoteProtocolError("frame must be a JSON object with a 'kind'")
+    return payload
+
+
+# -- addresses & plan transport -----------------------------------------------------
+
+
+def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
+    """``HOST:PORT`` / ``:PORT`` / ``PORT`` (or a ready tuple) → ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return (host or "127.0.0.1", int(port))
+    text = str(address).strip()
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+    else:
+        host, port_text = "", text
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CampaignError(
+            f"listen/connect address must be HOST:PORT, :PORT or PORT, got {address!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise CampaignError(f"port out of range in address {address!r}")
+    return (host or "127.0.0.1", port)
+
+
+def encode_plans(plans: Sequence) -> str:
+    """Plan batch → base64 pickle (the ``welcome`` frame's payload)."""
+    return base64.b64encode(pickle.dumps(list(plans), protocol=4)).decode("ascii")
+
+
+def decode_plans(blob: str) -> List:
+    """Inverse of :func:`encode_plans`."""
+    try:
+        plans = pickle.loads(base64.b64decode(blob.encode("ascii")))
+    except Exception as exc:
+        raise RemoteProtocolError(f"plan batch failed to hydrate: {exc!r}") from exc
+    if not isinstance(plans, list):
+        raise RemoteProtocolError("plan batch did not decode to a list")
+    return plans
+
+
+def worker_identity() -> str:
+    """This process's identity on the wire (``host:pid``)."""
+    return f"{socket.gethostname()}:{os.getpid()}"
+
+
+def validate_hello(payload: Dict, fingerprint: str) -> Optional[str]:
+    """Why a ``hello`` must be rejected, or ``None`` when it is acceptable."""
+    if payload.get("kind") != "hello":
+        return f"expected hello, got {payload.get('kind')!r}"
+    if payload.get("v") != PROTOCOL_VERSION:
+        return (
+            f"protocol version mismatch: coordinator speaks {PROTOCOL_VERSION}, "
+            f"worker spoke {payload.get('v')!r}"
+        )
+    held = payload.get("fingerprint")
+    if held is not None and held != fingerprint:
+        return (
+            f"stale worker: holds plans {held}, campaign is {fingerprint} — "
+            "restart the worker so it re-hydrates"
+        )
+    return None
+
+
+# -- coordinator --------------------------------------------------------------------
+
+
+@dataclass
+class _Lease:
+    """One shard's claim by one worker connection."""
+
+    worker: str
+    conn_id: int
+    attempt: int
+    granted_mono: float
+    deadline_mono: float
+
+
+class RemoteExecutor:
+    """Serves the shard task queue to ``repro worker`` processes over TCP.
+
+    Drop-in for the supervisor in the executor protocol: ``execute(tasks,
+    telemetry)`` yields ``(key, ShardRun)`` in task order.  Differences
+    from :class:`~repro.engine.supervisor.ShardSupervisor` are purely
+    *where* shards run — retries/backoff (:class:`RetryPolicy`), poison
+    quarantine, the write-ahead journal and ``--resume`` behave
+    identically, and retried shards remain bit-deterministic because only
+    the plan's shard seeds feed the simulation.
+
+    The listening socket binds in the constructor (so ``.address`` is
+    known even for an ephemeral ``:0`` port); serving starts when
+    :meth:`execute` runs and stops when the generator finalizes.  A
+    coordinator object is single-use.
+    """
+
+    def __init__(
+        self,
+        listen: Union[str, Tuple[str, int]] = ("127.0.0.1", 0),
+        policy: Optional[RetryPolicy] = None,
+        journal: Optional[CheckpointJournal] = None,
+        resume: Optional[ResumeState] = None,
+        quarantine_enabled: bool = False,
+        shard_timeout_s: Optional[float] = None,
+        lease_timeout_s: float = DEFAULT_LEASE_TIMEOUT_S,
+        announce=None,
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.journal = journal
+        self.resume = resume if resume is not None else ResumeState()
+        self.quarantine_enabled = quarantine_enabled
+        self.shard_timeout_s = shard_timeout_s
+        self.lease_timeout_s = max(0.1, lease_timeout_s)
+        self.announce = announce if announce is not None else sys.stderr
+        self._server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._server.bind(parse_address(listen))
+        self._server.listen(16)
+        self.address: Tuple[str, int] = self._server.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._started = False
+        self._shutdown = False
+        self._fingerprint = ""
+        self._plans_blob = ""
+        self._order: List[ShardKey] = []
+        self._by_key: Dict[ShardKey, ShardTask] = {}
+        self._attempts: Dict[ShardKey, int] = {}
+        self._ready: Dict[ShardKey, float] = {}
+        self._ready_since: Dict[ShardKey, float] = {}
+        self._leases: Dict[ShardKey, _Lease] = {}
+        self._done: Dict[ShardKey, ShardRun] = {}
+        self._events: deque = deque()
+        self._conns: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._interrupt = InterruptFlag()
+        self.workers_seen: List[str] = []
+
+    @property
+    def host(self) -> str:
+        return self.address[0]
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    # -- public entry ---------------------------------------------------------------
+
+    def execute(
+        self, tasks: Sequence[ShardTask], telemetry: EngineTelemetry
+    ) -> Iterator[Tuple[ShardKey, ShardRun]]:
+        """Yield ``(key, ShardRun)`` in task order, serving shards over TCP."""
+        if self._started:
+            raise CampaignError("a RemoteExecutor coordinator is single-use")
+        self._started = True
+        plans: List = []
+        for plan_index, plan, _ in tasks:
+            if plan_index == len(plans):
+                plans.append(plan)
+        self._fingerprint = plans_fingerprint(plans)
+        self._plans_blob = encode_plans(plans)
+        now = time.monotonic()
+        for plan_index, plan, shard in tasks:
+            key = (plan_index, shard.index)
+            self._order.append(key)
+            self._by_key[key] = (plan_index, plan, shard)
+            if key in self.resume.results:
+                continue
+            self._attempts[key] = 1
+            self._ready[key] = now
+            self._ready_since[key] = now
+        self._announce(
+            f"[engine] coordinator listening on {self.host}:{self.port} "
+            f"(fingerprint {self._fingerprint}, "
+            f"{len(self._ready)} shard(s) to lease) — start workers with: "
+            f"repro worker --connect {self.host}:{self.port}"
+        )
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        )
+        acceptor.start()
+        with interrupt_flag_guard() as flag:
+            self._interrupt = flag
+            try:
+                poller = BackoffPoller(cap_s=min(0.25, self.lease_timeout_s / 4.0))
+                for plan_index, plan, shard in tasks:
+                    key = (plan_index, shard.index)
+                    if key in self.resume.results:
+                        telemetry.shard_skipped(
+                            plan.display_label(), shard.index, shard.count, shard.faults
+                        )
+                        yield key, ShardRun(
+                            result=self.resume.results[key],
+                            attempts=self.resume.attempts.get(key, 1),
+                            status="resumed",
+                        )
+                        continue
+                    while True:
+                        with self._lock:
+                            run = self._done.get(key)
+                        if run is not None:
+                            break
+                        self._pump(telemetry, poller)
+                    yield key, run
+            finally:
+                self._teardown()
+
+    # -- driver side ----------------------------------------------------------------
+
+    def _pump(self, telemetry: EngineTelemetry, poller: BackoffPoller) -> None:
+        """Wait for activity, expire leases, apply queued events."""
+        self._raise_if_interrupted()
+        with self._cond:
+            if not self._events:
+                self._cond.wait(timeout=poller.next_delay())
+            self._sweep_leases_locked()
+            events = list(self._events)
+            self._events.clear()
+        if events:
+            poller.reset()
+        for event in events:
+            self._apply_event(event, telemetry)
+
+    def _raise_if_interrupted(self) -> None:
+        if not self._interrupt:
+            return
+        if self.journal is not None:
+            self.journal.close()
+        raise CampaignInterrupted(
+            f"campaign interrupted by {self._interrupt.signal_name}; "
+            "checkpoint journal is flushed — restart with resume to continue"
+        )
+
+    def _sweep_leases_locked(self) -> None:
+        """Requeue shards whose lease expired or overran the shard timeout."""
+        now = time.monotonic()
+        for key, lease in list(self._leases.items()):
+            if now > lease.deadline_mono:
+                reason = (
+                    f"lease expired: no heartbeat from {lease.worker} "
+                    f"within {self.lease_timeout_s:g}s"
+                )
+            elif (
+                self.shard_timeout_s is not None
+                and now - lease.granted_mono > self.shard_timeout_s
+            ):
+                reason = (
+                    f"timeout: no result from {lease.worker} "
+                    f"{self.shard_timeout_s:g}s after lease"
+                )
+            else:
+                continue
+            del self._leases[key]
+            self._events.append(("lost", key, lease.attempt, lease.worker, reason))
+
+    def _apply_event(self, event: Tuple, telemetry: EngineTelemetry) -> None:
+        kind = event[0]
+        if kind == "leased":
+            _, key, attempt, worker = event
+            plan_index, plan, shard = self._by_key[key]
+            telemetry.shard_started(
+                plan.display_label(),
+                shard.index,
+                shard.count,
+                attempt=attempt,
+                worker_pid=worker,
+            )
+            return
+        if kind == "result":
+            self._apply_result(event, telemetry)
+            return
+        # "failure" (worker reported an exception) and "lost" (connection
+        # dropped / lease expired) charge the attempt identically: unlike a
+        # shared process pool, a lease names exactly one culprit.
+        _, key, attempt, worker, reason = event
+        with self._lock:
+            if key in self._done or self._attempts.get(key) != attempt:
+                return  # stale: a newer attempt already superseded this one
+        self._fail_attempt(key, attempt, reason, telemetry)
+
+    def _apply_result(self, event: Tuple, telemetry: EngineTelemetry) -> None:
+        _, key, attempt, worker, record, granted_mono, arrived_mono = event
+        with self._lock:
+            if key in self._done:
+                return  # duplicate/stale completion
+            pickup = granted_mono - self._ready_since.get(key, granted_mono)
+        try:
+            result = result_from_record(record)
+        except Exception as exc:
+            self._fail_attempt(
+                key, attempt, f"undecodable result from {worker}: {exc!r}", telemetry
+            )
+            return
+        plan_index, plan, shard = self._by_key[key]
+        label = plan.display_label()
+        if self.journal is not None:
+            self.journal.append_shard(
+                plan_index, shard.index, result, attempt, label=label
+            )
+            telemetry.checkpoint_written(
+                label,
+                shard.index,
+                shard.count,
+                commit_lag_s=max(0.0, time.monotonic() - arrived_mono),
+            )
+        telemetry.shard_finished(
+            label,
+            shard.index,
+            shard.count,
+            shard.faults,
+            attempt=attempt,
+            worker_pid=worker,
+        )
+        run = ShardRun(
+            result=result,
+            attempts=attempt,
+            status="completed",
+            pickup_latency_s=max(0.0, pickup),
+            duration_s=max(0.0, arrived_mono - granted_mono),
+        )
+        with self._cond:
+            self._done[key] = run
+            if len(self._done) + len(self.resume.results) >= len(self._order):
+                self._shutdown = True
+            self._cond.notify_all()
+
+    def _fail_attempt(
+        self, key: ShardKey, attempt: int, reason: str, telemetry: EngineTelemetry
+    ) -> None:
+        plan_index, plan, shard = self._by_key[key]
+        label = plan.display_label()
+        if attempt >= self.policy.max_attempts:
+            if self.journal is not None:
+                self.journal.append_quarantine(plan_index, shard.index, attempt, reason)
+            telemetry.shard_quarantined(
+                label, shard.index, shard.count, reason, attempt=attempt
+            )
+            if not self.quarantine_enabled:
+                raise ShardFailureError(
+                    f"shard {label}#s{shard.index} failed after {attempt} attempts "
+                    f"({reason}); enable quarantine to complete degraded campaigns"
+                )
+            run = ShardRun(
+                result=None, attempts=attempt, status="quarantined", error=reason
+            )
+            with self._cond:
+                self._done[key] = run
+                if len(self._done) + len(self.resume.results) >= len(self._order):
+                    self._shutdown = True
+                self._cond.notify_all()
+            return
+        telemetry.shard_retried(
+            label, shard.index, shard.count, reason, attempt=attempt
+        )
+        backoff = self.policy.backoff_s(shard.seed, attempt)
+        now = time.monotonic()
+        with self._cond:
+            self._attempts[key] = attempt + 1
+            self._ready[key] = now + backoff
+            self._ready_since[key] = now
+            self._cond.notify_all()
+
+    # -- connection side (handler threads) --------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._server.accept()
+            except OSError:
+                return  # server socket closed: coordinator is done
+            with self._lock:
+                if self._shutdown:
+                    # Late joiner after completion: turn it away politely.
+                    try:
+                        send_frame(conn, {"kind": "shutdown"})
+                        conn.close()
+                    except OSError:
+                        pass
+                    continue
+                self._conns.append(conn)
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="repro-coordinator-conn",
+                daemon=True,
+            )
+            handler.start()
+            self._threads.append(handler)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        worker = "unknown"
+        conn_id = id(conn)
+        try:
+            conn.settimeout(max(30.0, self.lease_timeout_s * 4))
+            hello = recv_frame(conn)
+            if hello is None:
+                return
+            rejection = validate_hello(hello, self._fingerprint)
+            worker = str(hello.get("worker") or "unknown")
+            if rejection is not None:
+                send_frame(conn, {"kind": "reject", "reason": rejection})
+                return
+            with self._lock:
+                self.workers_seen.append(worker)
+            send_frame(
+                conn,
+                {
+                    "kind": "welcome",
+                    "v": PROTOCOL_VERSION,
+                    "fingerprint": self._fingerprint,
+                    "plans": self._plans_blob,
+                    "lease_timeout_s": self.lease_timeout_s,
+                    "heartbeat_s": self.lease_timeout_s / 3.0,
+                },
+            )
+            while True:
+                frame = recv_frame(conn)
+                if frame is None:
+                    return
+                kind = frame["kind"]
+                if kind == "request":
+                    send_frame(conn, self._grant_locked(worker, conn_id))
+                elif kind == "heartbeat":
+                    self._renew_lease(frame, conn_id)
+                elif kind in ("result", "failure"):
+                    self._receive_outcome(frame, kind, worker, conn_id)
+                else:
+                    raise RemoteProtocolError(
+                        f"unexpected frame kind {kind!r} from {worker}"
+                    )
+        except (RemoteProtocolError, OSError, ValueError):
+            pass  # connection-level damage: leases released below
+        finally:
+            self._release_worker_leases(conn_id, worker)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _grant_locked(self, worker: str, conn_id: int) -> Dict:
+        """Lease the first ready shard (task order), or say wait/shutdown."""
+        with self._cond:
+            if self._shutdown:
+                return {"kind": "shutdown"}
+            now = time.monotonic()
+            soonest: Optional[float] = None
+            for key in self._order:
+                if key in self._done or key in self._leases or key not in self._ready:
+                    continue
+                not_before = self._ready[key]
+                if not_before <= now:
+                    attempt = self._attempts[key]
+                    self._leases[key] = _Lease(
+                        worker=worker,
+                        conn_id=conn_id,
+                        attempt=attempt,
+                        granted_mono=now,
+                        deadline_mono=now + self.lease_timeout_s,
+                    )
+                    del self._ready[key]
+                    self._events.append(("leased", key, attempt, worker))
+                    self._cond.notify_all()
+                    plan_index, _plan, shard = self._by_key[key]
+                    return {
+                        "kind": "shard",
+                        "plan": plan_index,
+                        "shard": shard.index,
+                        "attempt": attempt,
+                    }
+                soonest = not_before if soonest is None else min(soonest, not_before)
+            if soonest is not None:
+                delay = min(1.0, max(0.05, soonest - now))
+            else:
+                delay = 0.5  # everything is leased out; check back shortly
+            return {"kind": "wait", "delay_s": delay}
+
+    def _renew_lease(self, frame: Dict, conn_id: int) -> None:
+        key = (frame.get("plan"), frame.get("shard"))
+        with self._lock:
+            lease = self._leases.get(key)
+            if lease is not None and lease.conn_id == conn_id:
+                lease.deadline_mono = time.monotonic() + self.lease_timeout_s
+
+    def _receive_outcome(
+        self, frame: Dict, kind: str, worker: str, conn_id: int
+    ) -> None:
+        key = (frame.get("plan"), frame.get("shard"))
+        attempt = frame.get("attempt")
+        with self._cond:
+            lease = self._leases.get(key)
+            if lease is None or lease.conn_id != conn_id or lease.attempt != attempt:
+                return  # stale outcome: the lease moved on; determinism makes it safe to drop
+            del self._leases[key]
+            now = time.monotonic()
+            if kind == "result":
+                self._events.append(
+                    (
+                        "result",
+                        key,
+                        attempt,
+                        worker,
+                        frame.get("result"),
+                        lease.granted_mono,
+                        now,
+                    )
+                )
+            else:
+                self._events.append(
+                    (
+                        "failure",
+                        key,
+                        attempt,
+                        worker,
+                        str(frame.get("error") or "worker reported failure"),
+                    )
+                )
+            self._cond.notify_all()
+
+    def _release_worker_leases(self, conn_id: int, worker: str) -> None:
+        with self._cond:
+            for key, lease in list(self._leases.items()):
+                if lease.conn_id == conn_id:
+                    del self._leases[key]
+                    self._events.append(
+                        (
+                            "lost",
+                            key,
+                            lease.attempt,
+                            lease.worker,
+                            f"worker {worker} disconnected mid-shard",
+                        )
+                    )
+            self._cond.notify_all()
+
+    # -- teardown ---------------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        with self._cond:
+            self._shutdown = True
+            self._cond.notify_all()
+        # Give connected workers a moment to drain: their next `request`
+        # draws a `shutdown` frame and they exit 0 instead of seeing EOF.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            if all(not thread.is_alive() for thread in self._threads):
+                break
+            time.sleep(0.05)
+        try:
+            self._server.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _announce(self, line: str) -> None:
+        if self.announce is None:
+            return
+        print(line, file=self.announce)
+        try:
+            self.announce.flush()
+        except Exception:
+            pass
+
+
+# -- worker -------------------------------------------------------------------------
+
+
+class _Heartbeat(threading.Thread):
+    """Renews the current lease while the worker executes a shard."""
+
+    def __init__(self, sock, send_lock, plan_index, shard_index, interval_s):
+        super().__init__(name="repro-worker-heartbeat", daemon=True)
+        self._sock = sock
+        self._send_lock = send_lock
+        self._frame = {
+            "kind": "heartbeat", "plan": plan_index, "shard": shard_index
+        }
+        self._interval_s = max(0.05, interval_s)
+        # Not named _stop: Thread itself has a private _stop() method.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.wait(self._interval_s):
+            try:
+                with self._send_lock:
+                    send_frame(self._sock, self._frame)
+            except OSError:
+                return  # coordinator went away; the main loop will notice
+
+    def stop(self) -> None:
+        self._halt.set()
+
+
+def _connect_with_retry(
+    host: str, port: int, timeout_s: float
+) -> socket.socket:
+    deadline = time.monotonic() + max(0.0, timeout_s)
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=10.0)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise CampaignError(
+                    f"could not connect to coordinator {host}:{port} "
+                    f"within {timeout_s:g}s: {exc}"
+                ) from exc
+            time.sleep(0.2)
+
+
+def run_worker(
+    address: Union[str, Tuple[str, int]],
+    connect_timeout_s: float = 10.0,
+    announce=None,
+) -> int:
+    """Connect to a coordinator and execute leased shards until shutdown.
+
+    This is the body of ``repro worker --connect HOST:PORT``.  Shards run
+    through the exact worker entry point the process-pool executor uses
+    (:func:`~repro.engine.executors._run_shard_task`), so the injectable
+    fault fixture and the bit-determinism guarantee carry over unchanged.
+
+    Exit codes: 0 clean shutdown from the coordinator; 2 rejected at
+    handshake (stale plans or protocol mismatch); 3 connection lost
+    mid-campaign.
+    """
+    stream = announce if announce is not None else sys.stderr
+
+    def say(line: str) -> None:
+        print(line, file=stream)
+        try:
+            stream.flush()
+        except Exception:
+            pass
+
+    host, port = parse_address(address)
+    identity = worker_identity()
+    sock = _connect_with_retry(host, port, connect_timeout_s)
+    send_lock = threading.Lock()
+    executed = 0
+    try:
+        sock.settimeout(600.0)
+        with send_lock:
+            send_frame(
+                sock,
+                {
+                    "kind": "hello",
+                    "v": PROTOCOL_VERSION,
+                    "worker": identity,
+                    "fingerprint": None,
+                },
+            )
+        welcome = recv_frame(sock)
+        if welcome is None:
+            say(f"[worker {identity}] coordinator closed during handshake")
+            return 3
+        if welcome["kind"] == "reject":
+            say(f"[worker {identity}] rejected: {welcome.get('reason')}")
+            return 2
+        if welcome["kind"] != "welcome" or welcome.get("v") != PROTOCOL_VERSION:
+            say(f"[worker {identity}] bad handshake reply: {welcome.get('kind')!r}")
+            return 2
+        plans = decode_plans(welcome["plans"])
+        fingerprint = plans_fingerprint(plans)
+        if fingerprint != welcome.get("fingerprint"):
+            say(
+                f"[worker {identity}] hydrated fingerprint {fingerprint} does not "
+                f"match coordinator's {welcome.get('fingerprint')}; aborting"
+            )
+            return 2
+        heartbeat_s = float(welcome.get("heartbeat_s") or DEFAULT_LEASE_TIMEOUT_S / 3)
+        shards = {
+            (plan_index, shard.index): (plan, shard)
+            for plan_index, plan in enumerate(plans)
+            for shard in plan.shards()
+        }
+        say(
+            f"[worker {identity}] connected to {host}:{port} "
+            f"({len(plans)} plan(s), fingerprint {fingerprint})"
+        )
+        while True:
+            with send_lock:
+                send_frame(sock, {"kind": "request"})
+            frame = recv_frame(sock)
+            if frame is None:
+                say(f"[worker {identity}] connection lost ({executed} shard(s) done)")
+                return 3
+            kind = frame["kind"]
+            if kind == "shutdown":
+                say(f"[worker {identity}] done: executed {executed} shard(s)")
+                return 0
+            if kind == "wait":
+                time.sleep(min(5.0, float(frame.get("delay_s") or 0.5)))
+                continue
+            if kind != "shard":
+                raise RemoteProtocolError(f"unexpected frame kind {kind!r}")
+            key = (frame["plan"], frame["shard"])
+            if key not in shards:
+                raise RemoteProtocolError(f"leased unknown shard {key}")
+            plan, shard = shards[key]
+            attempt = int(frame.get("attempt") or 1)
+            heartbeat = _Heartbeat(sock, send_lock, key[0], key[1], heartbeat_s)
+            heartbeat.start()
+            try:
+                result = _run_shard_task(plan, shard, attempt)
+            except Exception as exc:
+                heartbeat.stop()
+                heartbeat.join()
+                with send_lock:
+                    send_frame(
+                        sock,
+                        {
+                            "kind": "failure",
+                            "plan": key[0],
+                            "shard": key[1],
+                            "attempt": attempt,
+                            "error": repr(exc),
+                        },
+                    )
+                continue
+            heartbeat.stop()
+            heartbeat.join()
+            with send_lock:
+                send_frame(
+                    sock,
+                    {
+                        "kind": "result",
+                        "plan": key[0],
+                        "shard": key[1],
+                        "attempt": attempt,
+                        "result": result_to_record(result),
+                    },
+                )
+            executed += 1
+    except (RemoteProtocolError, OSError) as exc:
+        say(f"[worker {identity}] protocol/connection failure: {exc}")
+        return 3
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass

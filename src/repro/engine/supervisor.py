@@ -56,11 +56,56 @@ from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.core.results import CampaignResult
 from repro.engine.checkpoint import CheckpointJournal, ResumeState
-from repro.engine.executors import ShardKey, ShardTask, _run_shard_task
+from repro.engine.executors import (
+    BackoffPoller,
+    POLL_CAP_S,
+    ShardKey,
+    ShardTask,
+    _run_shard_task,
+)
 from repro.engine.progress import EngineTelemetry
 from repro.errors import CampaignInterrupted, ShardFailureError
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class InterruptFlag:
+    """Latch set by SIGINT/SIGTERM; truthy once a signal has landed."""
+
+    def __init__(self) -> None:
+        self.signal_name: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.signal_name is not None
+
+
+@contextmanager
+def interrupt_flag_guard() -> Iterator[InterruptFlag]:
+    """Install SIGINT/SIGTERM flag handlers for the guarded block.
+
+    Handlers only install on the main thread (signal semantics); elsewhere
+    the yielded flag simply never trips.  Previous handlers are restored on
+    exit.  Shared by :class:`ShardSupervisor` and the remote coordinator so
+    both interpret an interrupt the same way: set a flag, let the execution
+    loop reach a safe point, flush, raise
+    :class:`~repro.errors.CampaignInterrupted`.
+    """
+    flag = InterruptFlag()
+    previous = {}
+    if threading.current_thread() is threading.main_thread():
+        def _set(signum, frame):  # pragma: no cover - exercised via CLI test
+            flag.signal_name = signal.Signals(signum).name
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[sig] = signal.signal(sig, _set)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+    try:
+        yield flag
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
 
 
 def _mix64(a: int, b: int) -> int:
@@ -141,7 +186,7 @@ class ShardSupervisor:
         resume: Optional[ResumeState] = None,
         quarantine_enabled: bool = False,
         sleep=time.sleep,
-        poll_interval_s: float = 0.05,
+        poll_interval_s: float = POLL_CAP_S,
     ) -> None:
         self.jobs = max(1, jobs if jobs else 1)
         self.shard_timeout_s = shard_timeout_s
@@ -149,9 +194,11 @@ class ShardSupervisor:
         self.journal = journal
         self.resume = resume if resume is not None else ResumeState()
         self.quarantine_enabled = quarantine_enabled
+        # Cap of the exponential head-of-line poll schedule (also bounds
+        # how long an interrupt waits to be noticed).
         self.poll_interval_s = poll_interval_s
         self._sleep = sleep
-        self._interrupt: Optional[str] = None
+        self._interrupt = InterruptFlag()
 
     # -- public entry ---------------------------------------------------------------
 
@@ -170,32 +217,19 @@ class ShardSupervisor:
     @contextmanager
     def _signal_guard(self):
         """Install SIGINT/SIGTERM flag handlers (main thread only)."""
-        self._interrupt = None
-        previous = {}
-        if threading.current_thread() is threading.main_thread():
-            def _flag(signum, frame):  # pragma: no cover - exercised via CLI test
-                self._interrupt = signal.Signals(signum).name
-
-            for sig in (signal.SIGINT, signal.SIGTERM):
-                try:
-                    previous[sig] = signal.signal(sig, _flag)
-                except (ValueError, OSError):  # pragma: no cover
-                    pass
-        try:
+        with interrupt_flag_guard() as flag:
+            self._interrupt = flag
             yield
-        finally:
-            for sig, handler in previous.items():
-                signal.signal(sig, handler)
 
     def _raise_if_interrupted(self, pool: Optional[ProcessPoolExecutor]) -> None:
-        if self._interrupt is None:
+        if not self._interrupt:
             return
         if self.journal is not None:
             self.journal.close()  # appends are already fsync'd; release the handle
         if pool is not None:
             self._kill_pool(pool)
         raise CampaignInterrupted(
-            f"campaign interrupted by {self._interrupt}; "
+            f"campaign interrupted by {self._interrupt.signal_name}; "
             "checkpoint journal is flushed — restart with resume to continue"
         )
 
@@ -387,15 +421,21 @@ class ShardSupervisor:
                 pool = self._rebuild_pool(pool, len(live))
                 futures[key] = pool.submit(_run_shard_task, plan, shard, attempts[key])
 
-        def scan_starts() -> None:
-            """Observe pickups and completions (for telemetry and timing)."""
+        def scan_starts() -> bool:
+            """Observe pickups and completions (for telemetry and timing).
+
+            Returns whether anything new was observed, so the wait loop can
+            reset its poll backoff when the pool is making progress.
+            """
             now = time.monotonic()
+            observed = False
             for key, future in futures.items():
                 if key in collected:
                     continue
                 if key not in started and (future.running() or future.done()):
                     started.add(key)
                     started_at[key] = now
+                    observed = True
                     plan_index, plan, shard = by_key[key]
                     telemetry.shard_started(
                         plan.display_label(),
@@ -407,6 +447,8 @@ class ShardSupervisor:
                     # First observation of the result being available; the
                     # gap until head-of-line commit is the checkpoint lag.
                     done_at[key] = now
+                    observed = True
+            return observed
 
         def resubmit_pending(except_key: Optional[ShardKey]) -> None:
             """Re-queue every uncollected shard whose future died with the pool."""
@@ -424,11 +466,17 @@ class ShardSupervisor:
                 submit(key)
 
         def wait_head(key: ShardKey):
-            """Block (politely) on the head-of-line shard; classify the outcome."""
+            """Block (politely) on the head-of-line shard; classify the outcome.
+
+            Polls on a capped exponential schedule: pool progress resets
+            the backoff, a quiet pool settles at ``poll_interval_s``.
+            """
             future = futures[key]
+            poller = BackoffPoller(cap_s=self.poll_interval_s)
             while True:
                 self._raise_if_interrupted(pool)
-                scan_starts()
+                if scan_starts():
+                    poller.reset()
                 if future.done() and not future.cancelled():
                     exc = future.exception()
                     if exc is None:
@@ -444,7 +492,7 @@ class ShardSupervisor:
                     and time.monotonic() - started_at[key] > self.shard_timeout_s
                 ):
                     return "timeout", None
-                time.sleep(self.poll_interval_s)
+                time.sleep(poller.next_delay())
 
         try:
             for key in live:

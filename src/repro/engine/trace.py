@@ -98,7 +98,7 @@ class TraceRecord:
     cycles_per_sec: float
     eta_s: Optional[float] = None
     attempt: Optional[int] = None
-    worker_pid: Optional[int] = None
+    worker_pid: Optional[Union[int, str]] = None
     commit_lag_s: Optional[float] = None
     detail: str = ""
 
@@ -266,6 +266,7 @@ class ShardProfile:
     duration_s: Optional[float] = None
     commit_lag_s: Optional[float] = None
     retry_reasons: List[str] = field(default_factory=list)
+    worker: Optional[str] = None  # "host:pid" (distributed) or a bare pid
     _last_started_mono: Optional[float] = None
 
     @property
@@ -304,6 +305,9 @@ class TraceReport:
     quarantine_timeline: List[TimelineEntry]
     commit_lag_p50_s: Optional[float]
     commit_lag_max_s: Optional[float]
+    workers: Dict[str, int] = field(default_factory=dict)
+    """Shards finished per worker identity, when the trace attributes them
+    (serial runs record the engine pid; distributed runs ``host:pid``)."""
 
     def render(self) -> str:
         """Human-readable multi-line report (what the CLI prints)."""
@@ -328,10 +332,21 @@ class TraceReport:
         if self.slowest:
             lines.append(f"  slowest {len(self.slowest)} shard(s):")
             for profile in self.slowest:
-                lines.append(
+                line = (
                     f"    {profile.name:<40} {profile.duration_s:8.2f}s  "
                     f"attempts={profile.attempts}"
                 )
+                if profile.worker is not None:
+                    line += f"  worker={profile.worker}"
+                lines.append(line)
+        if self.workers:
+            counts = ", ".join(
+                f"{worker}: {count}"
+                for worker, count in sorted(
+                    self.workers.items(), key=lambda item: (-item[1], item[0])
+                )
+            )
+            lines.append(f"  shards per worker: {counts}")
         if self.skipped:
             lines.append(f"  resumed (skipped) shards: {self.skipped}")
         lines.append(f"  retries: {len(self.retry_timeline)}")
@@ -385,6 +400,8 @@ def build_trace_report(
             )
         return profiles[key]
 
+    workers: Dict[str, int] = {}
+
     for record in records:
         if record.plan_label not in plans:
             plans.append(record.plan_label)
@@ -392,21 +409,38 @@ def build_trace_report(
             continue  # plan-level event, not a shard
         if record.kind == "shard-started":
             entry = profile(record)
+            if entry.status != "running":
+                # A start after completion means the trace file mixes runs
+                # (a restarted campaign appended to the same path); the new
+                # run's story supersedes the old one's.
+                entry.status = "running"
+                entry.attempts = 0
+                entry.duration_s = None
+                entry.commit_lag_s = None
             entry.attempts += 1
             entry._last_started_mono = record.mono_time_s
+            if record.worker_pid is not None:
+                entry.worker = str(record.worker_pid)
         elif record.kind == "shard-finished":
             entry = profile(record)
             entry.status = "completed"
             if record.attempt is not None:
                 entry.attempts = max(entry.attempts, record.attempt)
             if entry._last_started_mono is not None:
-                entry.duration_s = record.mono_time_s - entry._last_started_mono
+                duration = record.mono_time_s - entry._last_started_mono
+                # A negative gap means the start came from a different boot
+                # (monotonic clocks don't compare across runs): no duration.
+                entry.duration_s = duration if duration >= 0.0 else None
+            if record.worker_pid is not None:
+                entry.worker = str(record.worker_pid)
+            if entry.worker is not None:
+                workers[entry.worker] = workers.get(entry.worker, 0) + 1
         elif record.kind == "shard-retried":
             entry = profile(record)
             entry.retry_reasons.append(record.detail)
             retry_timeline.append(
                 TimelineEntry(
-                    elapsed_s=record.mono_time_s - base_mono,
+                    elapsed_s=max(0.0, record.mono_time_s - base_mono),
                     plan_label=record.plan_label,
                     shard_index=record.shard_index,
                     attempt=record.attempt,
@@ -423,7 +457,7 @@ def build_trace_report(
                 entry.attempts = max(entry.attempts, record.attempt)
             quarantine_timeline.append(
                 TimelineEntry(
-                    elapsed_s=record.mono_time_s - base_mono,
+                    elapsed_s=max(0.0, record.mono_time_s - base_mono),
                     plan_label=record.plan_label,
                     shard_index=record.shard_index,
                     attempt=record.attempt,
@@ -445,7 +479,9 @@ def build_trace_report(
         reverse=True,
     )
     last = records[-1]
-    span = last.mono_time_s - base_mono
+    # Clamped: a restarted run appended to the same file makes raw mono
+    # deltas meaningless (and possibly negative).
+    span = max(0.0, last.mono_time_s - base_mono)
     return TraceReport(
         events=len(records),
         plans=plans,
@@ -463,6 +499,7 @@ def build_trace_report(
         quarantine_timeline=quarantine_timeline,
         commit_lag_p50_s=_percentile(lags, 0.50) if lags else None,
         commit_lag_max_s=lags[-1] if lags else None,
+        workers=workers,
     )
 
 

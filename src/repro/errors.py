@@ -84,6 +84,16 @@ class CampaignInterrupted(CampaignError):
     """
 
 
+class RemoteProtocolError(CampaignError):
+    """A distributed-execution peer violated the coordinator wire protocol.
+
+    Raised for malformed or oversized frames, handshake version or plan
+    fingerprint mismatches, and frames that arrive out of protocol order.
+    A worker rejected at handshake receives the reason before the
+    connection closes.
+    """
+
+
 class CheckpointError(ReproError):
     """The shard checkpoint journal is unreadable or internally corrupt.
 

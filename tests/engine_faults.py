@@ -1,0 +1,207 @@
+"""Reusable fault-injection fixtures for engine failure-path tests.
+
+Everything the engine's failure tests keep rebuilding lives here once:
+the zero-backoff retry policy, the small deterministic campaign plan and
+its cached unfaulted baseline, the event-collecting progress hook, CLI
+subprocess helpers, and the distributed-execution harness (free ports,
+``repro worker`` subprocesses, a one-call ``run_distributed``).
+
+Fault injection rides on the ``REPRO_ENGINE_TEST_FAULT`` environment
+fixture (see :mod:`repro.engine.executors`): it reaches process-pool
+children through the inherited environment and distributed workers
+through the environment of their ``repro worker`` subprocess — no plan
+plumbing anywhere.  The invariant every consumer of this module asserts:
+however execution is perturbed, the merged summary equals a clean serial
+run's.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.engine import CampaignPlan, RetryPolicy, run_plan
+from repro.engine.executors import TEST_FAULT_ENV
+from repro.ssd.device import SsdConfig
+from repro.units import GIB, MSEC
+from repro.workload.spec import WorkloadSpec
+
+FAST = RetryPolicy(max_retries=2, backoff_base_s=0.0, backoff_max_s=0.0)
+"""Retry policy with zero backoff so failure-path tests don't sleep."""
+
+
+def small_plan(faults=4, shard_faults=1, seed=42):
+    """A four-shard campaign small enough to rerun in every failure test."""
+    return CampaignPlan(
+        spec=WorkloadSpec(wss_bytes=1 * GIB, outstanding=8),
+        faults=faults,
+        device=SsdConfig(
+            name="sup-dev", capacity_bytes=2 * GIB, init_time_us=50 * MSEC
+        ),
+        base_seed=seed,
+        label="sup-test",
+        shard_faults=shard_faults,
+    )
+
+
+_BASELINE = {}
+
+
+def clean_summary(faults=4):
+    """Cached summary of an unperturbed serial run of ``small_plan``."""
+    assert TEST_FAULT_ENV not in os.environ, "baseline must run without faults"
+    if faults not in _BASELINE:
+        _BASELINE[faults] = run_plan(small_plan(faults=faults), jobs=1).summary()
+    return _BASELINE[faults]
+
+
+class Events:
+    """Progress hook collecting every engine event for assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, event):
+        self.events.append(event)
+
+    def kinds(self):
+        return [event.kind for event in self.events]
+
+
+# -- CLI subprocess helpers ----------------------------------------------------------
+
+
+def cli_env():
+    """Environment for ``python -m repro`` subprocesses (src on PYTHONPATH)."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(args, env, timeout=240):
+    """One ``python -m repro`` invocation, captured."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=timeout,
+    )
+
+
+def summary_table(stdout):
+    """The CLI's result table, with the jobs-dependent run banner dropped."""
+    lines = [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.startswith("running ")
+    ]
+    assert lines, "CLI produced no summary table"
+    return lines
+
+
+# -- distributed-execution harness ---------------------------------------------------
+
+
+def free_port():
+    """An OS-assigned TCP port that was free a moment ago."""
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def spawn_worker(port, env=None, fault=None, connect_timeout_s=20.0):
+    """Start one ``repro worker`` subprocess against a local coordinator.
+
+    ``fault`` (a ``REPRO_ENGINE_TEST_FAULT`` spec) applies only to this
+    worker — the coordinator process stays clean, which is exactly the
+    distributed failure topology the tests need.
+    """
+    worker_env = dict(env if env is not None else cli_env())
+    if fault is not None:
+        worker_env[TEST_FAULT_ENV] = fault
+    else:
+        worker_env.pop(TEST_FAULT_ENV, None)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "worker",
+            "--connect",
+            f"127.0.0.1:{port}",
+            "--connect-timeout",
+            str(connect_timeout_s),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=worker_env,
+    )
+
+
+def drain_workers(workers, timeout=30.0):
+    """Collect worker exit codes, terminating any that failed to finish."""
+    codes = []
+    for worker in workers:
+        try:
+            worker.communicate(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            worker.kill()
+            worker.communicate()
+        codes.append(worker.returncode)
+    return codes
+
+
+def run_distributed(
+    plan,
+    workers=2,
+    worker_fault=None,
+    lease_timeout_s=None,
+    retry_policy=FAST,
+    checkpoint=None,
+    resume=False,
+    quarantine=False,
+    progress=None,
+    on_workers_started=None,
+    on_before_drain=None,
+):
+    """One distributed ``run_plan``: local coordinator + worker subprocesses.
+
+    Starts ``workers`` ``repro worker`` processes (each optionally carrying
+    ``worker_fault`` in its environment), runs the coordinator in this
+    process on a pre-picked free port, and returns ``(result,
+    worker_exit_codes)``.  ``on_workers_started(worker_list)`` runs right
+    after the workers spawn — tests use it to SIGKILL/SIGSTOP one of them
+    mid-campaign.  ``on_before_drain(worker_list)`` runs after the
+    campaign but before worker exit codes are collected (e.g. to SIGCONT
+    a worker the test froze).
+    """
+    port = free_port()
+    procs = [spawn_worker(port, fault=worker_fault) for _ in range(workers)]
+    try:
+        if on_workers_started is not None:
+            on_workers_started(procs)
+        result = run_plan(
+            plan,
+            listen=f"127.0.0.1:{port}",
+            lease_timeout_s=lease_timeout_s,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
+            resume=resume,
+            quarantine=quarantine,
+            progress=progress,
+        )
+    finally:
+        if on_before_drain is not None:
+            try:
+                on_before_drain(procs)
+            except OSError:
+                pass
+        codes = drain_workers(procs)
+    return result, codes

@@ -1,0 +1,181 @@
+"""Property-based tests for the checkpoint record codec and journal.
+
+Hypothesis drives the two claims the engine's crash-safety (and, since the
+distributed executor reuses the codec as its wire format, its network
+protocol) rests on:
+
+- **lossless codec**: any ``CampaignResult`` — not just the handful of
+  shapes the unit tests construct — survives ``result_to_record`` /
+  ``result_from_record``, including a trip through the JSON text the
+  journal and the wire actually carry;
+- **no silent corruption**: however a journal is damaged (a flipped byte,
+  a torn tail, duplicated records), replay either raises, discards
+  exactly the torn tail, or applies last-write-wins — it never serves a
+  record that fails its checksum.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.results import CampaignResult, FaultCycleResult
+from repro.engine.checkpoint import (
+    CheckpointJournal,
+    load_resume_state,
+    result_from_record,
+    result_to_record,
+)
+from repro.errors import CheckpointError
+
+# JSON round-trips arbitrary Python ints, but keeping counters in the
+# simulator's plausible range (and a few negatives, which the codec must
+# not mangle even though the engine never produces them) is plenty.
+counters = st.integers(min_value=-(2**31), max_value=2**53)
+
+cycle_results = st.builds(
+    FaultCycleResult,
+    cycle_index=counters,
+    fault_time_us=counters,
+    requests_completed=counters,
+    writes_completed=counters,
+    reads_completed=counters,
+    data_failures=counters,
+    fwa_failures=counters,
+    io_errors=counters,
+    stranded_map_updates=counters,
+    dirty_pages_lost=counters,
+    collateral_pages=counters,
+    supercap_pages_saved=counters,
+)
+
+
+@st.composite
+def campaign_results(draw):
+    result = CampaignResult(
+        label=draw(st.text(max_size=40)),
+        traffic_time_us=draw(counters),
+        requests_issued=draw(counters),
+    )
+    for cycle in draw(st.lists(cycle_results, max_size=6)):
+        result.add_cycle(cycle)
+    return result
+
+
+class TestCodecProperties:
+    @given(campaign_results())
+    def test_round_trip_is_lossless(self, original):
+        thawed = result_from_record(result_to_record(original))
+        assert thawed.label == original.label
+        assert thawed.traffic_time_us == original.traffic_time_us
+        assert thawed.requests_issued == original.requests_issued
+        assert thawed.cycles == original.cycles
+
+    @given(campaign_results())
+    def test_round_trip_survives_json_text(self, original):
+        # The journal and the distributed wire protocol both ship the
+        # record as JSON text, so the codec must survive that trip too.
+        record = json.loads(json.dumps(result_to_record(original)))
+        assert result_from_record(record).cycles == original.cycles
+
+    @given(campaign_results())
+    def test_summary_is_preserved(self, original):
+        assert result_from_record(result_to_record(original)).summary() == (
+            original.summary()
+        )
+
+    @given(st.dictionaries(st.text(max_size=10), counters, max_size=4))
+    def test_arbitrary_mappings_never_crash(self, garbage):
+        # Anything that isn't a faithful record must raise CheckpointError
+        # (the journal's torn-tail logic depends on that), never e.g.
+        # AttributeError out of the dataclass plumbing.
+        try:
+            result_from_record(garbage)
+        except CheckpointError:
+            pass
+
+
+def write_journal(path, entries, fingerprint="fp-prop"):
+    with CheckpointJournal(path, fingerprint) as journal:
+        for (plan, shard), (result, attempts) in entries:
+            journal.append_shard(plan, shard, result, attempts=attempts)
+
+
+journal_entries = st.lists(
+    st.tuples(
+        st.tuples(st.integers(0, 2), st.integers(0, 3)),
+        st.tuples(campaign_results(), st.integers(1, 5)),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestJournalProperties:
+    @given(journal_entries)
+    @settings(max_examples=25, deadline=None)
+    def test_replay_is_last_write_wins(self, entries):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ck.jsonl"
+            write_journal(path, entries)
+            state = load_resume_state(path, "fp-prop")
+        expected = dict(entries)  # dict() keeps the last value per key
+        assert set(state.results) == set(expected)
+        for key, (result, attempts) in expected.items():
+            assert state.results[key].cycles == result.cycles
+            assert state.attempts[key] == attempts
+
+    @given(journal_entries, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_flipped_byte_never_replays_silently(self, entries, data):
+        # Corrupt one character of one record.  If it is the final line the
+        # damage reads as a torn tail (discarded, everything earlier
+        # served); anywhere else replay must refuse the whole journal.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ck.jsonl"
+            write_journal(path, entries)
+            lines = path.read_text().splitlines()
+            row = data.draw(st.integers(0, len(lines) - 1), label="row")
+            col = data.draw(st.integers(0, len(lines[row]) - 1), label="col")
+            original = lines[row][col]
+            flipped = data.draw(
+                st.characters(min_codepoint=33, max_codepoint=126).filter(
+                    lambda c: c != original
+                ),
+                label="flipped",
+            )
+            lines[row] = lines[row][:col] + flipped + lines[row][col + 1 :]
+            path.write_text("\n".join(lines) + "\n")
+            if row == len(lines) - 1:
+                # A one-character substitution is a <=8-bit burst, which
+                # CRC32 always catches: the damaged final record must read
+                # as a torn tail, and every earlier record must survive.
+                state = load_resume_state(path, "fp-prop")
+                assert state.dropped_tail
+                assert set(state.results) == set(dict(entries[:-1]))
+            else:
+                with pytest.raises(CheckpointError):
+                    load_resume_state(path, "fp-prop")
+
+    @given(journal_entries, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_torn_tail_discards_only_the_last_record(self, entries, data):
+        # Truncate mid-way through the final line — the crash-mid-append
+        # case.  Replay keeps every earlier record and reports the tear.
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "ck.jsonl"
+            write_journal(path, entries)
+            lines = path.read_text().splitlines()
+            keep = data.draw(
+                st.integers(1, max(1, len(lines[-1]) - 1)), label="keep"
+            )
+            torn = "\n".join(lines[:-1] + [lines[-1][:keep]])
+            path.write_text(torn)
+            state = load_resume_state(path, "fp-prop")
+        assert state.dropped_tail
+        expected = dict(entries[:-1])
+        assert set(state.results) == set(expected)
+        for key, (result, attempts) in expected.items():
+            assert state.results[key].cycles == result.cycles

@@ -145,6 +145,81 @@ class TestRetryHandling:
         assert retried, "expected at least one retry event"
 
 
+class _FakeClock:
+    """Stand-in for the ``time`` module inside the executor's wait loop."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def monotonic(self):
+        return self.now
+
+
+class _StubFuture:
+    """Future whose ``result`` records every poll timeout and eats the time."""
+
+    def __init__(self, clock, resolve_after=None, value="shard-result"):
+        self.clock = clock
+        self.resolve_after = resolve_after
+        self.value = value
+        self.timeouts = []
+
+    def result(self, timeout=None):
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        self.timeouts.append(timeout)
+        self.clock.now += timeout
+        if self.resolve_after is not None and len(self.timeouts) >= self.resolve_after:
+            return self.value
+        raise FutureTimeoutError()
+
+
+class TestBackoffPolling:
+    """The head-of-line wait's poll schedule, pinned against a fake clock."""
+
+    def test_poller_schedule_is_capped_exponential(self):
+        from repro.engine.executors import BackoffPoller, POLL_BASE_S, POLL_CAP_S
+
+        poller = BackoffPoller()
+        delays = [poller.next_delay() for _ in range(8)]
+        assert delays == [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.25, 0.25]
+        assert delays[0] == POLL_BASE_S and delays[-1] == POLL_CAP_S
+        poller.reset()
+        assert poller.next_delay() == POLL_BASE_S
+        # A cap below the base is lifted to the base, never inverted.
+        assert BackoffPoller(base_s=0.1, cap_s=0.01).next_delay() == 0.1
+
+    def test_await_polls_on_the_poller_schedule(self, monkeypatch):
+        # No shard timeout: the future's recorded poll timeouts must be
+        # exactly the poller's capped exponential schedule, and the
+        # pickup-observation callback must run once per poll.
+        clock = _FakeClock()
+        monkeypatch.setattr("repro.engine.executors.time", clock)
+        future = _StubFuture(clock, resolve_after=8)
+        polls = []
+        executor = ParallelExecutor(jobs=2)
+        value = executor._await(future, lambda: polls.append(clock.now))
+        assert value == "shard-result"
+        assert future.timeouts == [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.25, 0.25]
+        assert len(polls) == 8
+
+    def test_await_clamps_final_poll_to_the_deadline(self, monkeypatch):
+        # With a 0.3s shard timeout the schedule runs 0.005 + 0.01 + 0.02
+        # + 0.04 + 0.08 = 0.155s, then the 0.16 step is clamped to the
+        # 0.145s remaining, and the next iteration times out — the wait
+        # must never overshoot the deadline by a poll interval.
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        clock = _FakeClock()
+        monkeypatch.setattr("repro.engine.executors.time", clock)
+        future = _StubFuture(clock, resolve_after=None)  # never resolves
+        executor = ParallelExecutor(jobs=2, shard_timeout_s=0.3)
+        with pytest.raises(FutureTimeoutError, match="exceeded timeout"):
+            executor._await(future, lambda: None)
+        assert future.timeouts == [0.005, 0.01, 0.02, 0.04, 0.08, pytest.approx(0.145)]
+        assert clock.now == pytest.approx(0.3)
+
+
 class TestRunPlans:
     def test_multiple_plans_merge_independently(self):
         plans = [small_plan(seed=1), small_plan(seed=2)]

@@ -1,0 +1,312 @@
+"""The engine fault matrix: every failure mode × every execution lane.
+
+One parametrized test proves the engine's core reliability claim in all
+directions at once: for each injected fault mode (``crash``, ``exit``,
+``hang``, ``slow``) and each execution lane (serial in-process,
+multiprocess pool, distributed TCP workers), the perturbed campaign's
+merged ``summary()`` equals the unfaulted serial baseline.
+
+The remote lane gets extra scrutiny, because its failure surface is new:
+a worker SIGKILLed mid-shard (connection drop → requeue), a worker
+SIGSTOPped mid-shard (heartbeats stop → lease expiry → requeue), a
+checkpoint written by a distributed run resumed serially, and a stale
+worker turned away at handshake.  Wire-protocol framing is unit-tested at
+the bottom.
+"""
+
+import os
+import signal
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro.engine import run_plan
+from repro.engine.executors import TEST_FAULT_ENV
+from repro.engine.remote import (
+    MAX_FRAME_BYTES,
+    parse_address,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+    validate_hello,
+)
+from repro.errors import CampaignError, RemoteProtocolError
+from tests.engine_faults import (
+    clean_summary,
+    drain_workers,
+    FAST,
+    free_port,
+    run_distributed,
+    small_plan,
+    spawn_worker,
+)
+
+MODES = ["crash", "exit", "hang", "slow"]
+LANES = ["serial", "pool", "remote"]
+
+
+def fault_spec(mode: str, lane: str) -> str:
+    """The ``REPRO_ENGINE_TEST_FAULT`` value for one matrix cell."""
+    if mode == "crash":
+        return "crash:1:1"
+    if mode == "exit":
+        return "exit:2:1"
+    if mode == "hang":
+        # The pool lane proves true timeout enforcement: the worker wedges
+        # for 30s and must be killed at the 1s shard timeout.  Serial and
+        # remote lanes have no preemption, so the hang self-reports after
+        # a short sleep (raising, like a watchdog would).
+        return "hang:1:1:30" if lane == "pool" else "hang:1:1:0.4"
+    if mode == "slow":
+        return "slow:*:1:0.2"
+    raise AssertionError(mode)
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize("lane", LANES)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_perturbed_summary_equals_serial_baseline(
+        self, mode, lane, monkeypatch
+    ):
+        if mode == "exit" and lane == "serial":
+            pytest.skip("os._exit in-process would kill the test runner itself")
+        baseline = clean_summary()
+        fault = fault_spec(mode, lane)
+        if lane == "remote":
+            result, codes = run_distributed(
+                small_plan(), workers=2, worker_fault=fault
+            )
+            if mode == "exit":
+                # One worker died by os._exit(13) mid-shard; the survivor
+                # finished the campaign and shut down cleanly.
+                assert sorted(codes) == [0, 13]
+            else:
+                assert codes == [0, 0]
+        else:
+            monkeypatch.setenv(TEST_FAULT_ENV, fault)
+            result = run_plan(
+                small_plan(),
+                jobs=1 if lane == "serial" else 2,
+                retry_policy=FAST,
+                shard_timeout_s=1.0 if (mode == "hang" and lane == "pool") else None,
+            )
+        assert result.summary() == baseline
+        assert not result.execution.degraded
+        if mode == "slow":
+            assert result.execution.retries == 0
+        else:
+            assert result.execution.retries >= 1
+
+
+class _SignalOnFirstStart:
+    """Progress hook: signal worker #0 the moment it starts its first shard.
+
+    Keying off the trace's worker identity (``host:pid``) guarantees the
+    signal lands while that worker is *mid-shard* — the exact scenario the
+    lease machinery exists for — instead of racing against startup.
+    """
+
+    def __init__(self, sig):
+        self.sig = sig
+        self.procs = None
+        self.signalled = None
+        self.events = []
+
+    def arm(self, procs):
+        self.procs = procs
+
+    def __call__(self, event):
+        self.events.append(event)
+        if (
+            self.signalled is None
+            and self.procs
+            and event.kind == "shard-started"
+            and event.worker_pid is not None
+            and str(event.worker_pid).rsplit(":", 1)[-1] == str(self.procs[0].pid)
+        ):
+            os.kill(self.procs[0].pid, self.sig)
+            self.signalled = self.procs[0].pid
+
+    def kinds(self):
+        return [event.kind for event in self.events]
+
+
+class TestRemoteWorkerLoss:
+    def test_sigkill_mid_shard_requeues_and_recovers(self):
+        # The acceptance scenario: a worker is SIGKILLed while executing a
+        # leased shard.  The connection drops, the shard returns to the
+        # queue charged one attempt, the surviving worker re-executes it,
+        # and the merged summary is byte-identical to the serial baseline.
+        baseline = clean_summary(faults=6)
+        hook = _SignalOnFirstStart(signal.SIGKILL)
+        result, codes = run_distributed(
+            small_plan(faults=6),
+            workers=2,
+            worker_fault="slow:*:1:0.5",  # widen the mid-shard window
+            on_workers_started=hook.arm,
+            progress=hook,
+        )
+        assert hook.signalled is not None, "victim worker never leased a shard"
+        assert result.summary() == baseline
+        assert not result.execution.degraded
+        assert result.execution.retries >= 1
+        assert "shard-retried" in hook.kinds()
+        assert codes[0] == -signal.SIGKILL
+        assert codes[1] == 0
+
+    def test_sigstop_wedge_expires_lease_and_requeues(self):
+        # Nastier than a kill: a SIGSTOPped worker keeps its socket open,
+        # so only the heartbeat deadline can detect it.  The lease must
+        # expire and the shard must migrate to the healthy worker.
+        baseline = clean_summary(faults=6)
+        hook = _SignalOnFirstStart(signal.SIGSTOP)
+        result, codes = run_distributed(
+            small_plan(faults=6),
+            workers=2,
+            worker_fault="slow:*:1:0.5",
+            lease_timeout_s=1.5,
+            on_workers_started=hook.arm,
+            progress=hook,
+            on_before_drain=lambda procs: os.kill(procs[0].pid, signal.SIGCONT),
+        )
+        assert hook.signalled is not None, "victim worker never leased a shard"
+        assert result.summary() == baseline
+        assert not result.execution.degraded
+        assert result.execution.retries >= 1
+        retried = [e for e in hook.events if e.kind == "shard-retried"]
+        assert any("lease expired" in e.detail for e in retried)
+        # The frozen worker finds its connection gone once thawed (exit 3),
+        # or drains cleanly if it thawed inside the shutdown grace window.
+        assert codes[0] in (0, 3)
+        assert codes[1] == 0
+
+    def test_remote_checkpoint_resumes_serially(self, tmp_path, monkeypatch):
+        # The journal is the coordinator's, in the local format — so a
+        # distributed run's checkpoint must resume on a plain serial run.
+        # The crash-everything fault proves resume re-executes nothing.
+        baseline = clean_summary()
+        path = tmp_path / "ck.jsonl"
+        result, codes = run_distributed(small_plan(), workers=2, checkpoint=path)
+        assert result.summary() == baseline
+        assert codes == [0, 0]
+        monkeypatch.setenv(TEST_FAULT_ENV, "crash:*:*")
+        resumed = run_plan(small_plan(), jobs=1, checkpoint=path, resume=True)
+        assert resumed.summary() == baseline
+        assert resumed.execution.shards_resumed == 4
+
+
+def _connect_with_retry(port, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=5.0)
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+class TestHandshake:
+    def test_stale_worker_rejected_live_campaign_completes(self):
+        # A client holding a different plan fingerprint is turned away with
+        # a reason, and its rejection does not disturb the real campaign.
+        port = free_port()
+        box = {}
+
+        def coordinate():
+            box["result"] = run_plan(
+                small_plan(), listen=f"127.0.0.1:{port}", retry_policy=FAST
+            )
+
+        thread = threading.Thread(target=coordinate)
+        thread.start()
+        worker = None
+        try:
+            stale = _connect_with_retry(port)
+            send_frame(
+                stale,
+                {
+                    "kind": "hello",
+                    "v": PROTOCOL_VERSION,
+                    "worker": "test:1",
+                    "fingerprint": "deadbeef-99",
+                },
+            )
+            reply = recv_frame(stale)
+            assert reply["kind"] == "reject"
+            assert "stale worker" in reply["reason"]
+            stale.close()
+            worker = spawn_worker(port)
+        finally:
+            thread.join(timeout=120)
+            codes = drain_workers([worker] if worker else [])
+        assert not thread.is_alive()
+        assert codes == [0]
+        assert box["result"].summary() == clean_summary()
+
+    def test_validate_hello(self):
+        good = {"kind": "hello", "v": PROTOCOL_VERSION, "worker": "h:1"}
+        assert validate_hello(good, "fp-1") is None
+        assert validate_hello({**good, "fingerprint": "fp-1"}, "fp-1") is None
+        assert "stale" in validate_hello({**good, "fingerprint": "fp-2"}, "fp-1")
+        assert "version" in validate_hello({**good, "v": 99}, "fp-1")
+        assert "expected hello" in validate_hello({"kind": "request"}, "fp-1")
+
+
+class TestWireFrames:
+    def pair(self):
+        return socket.socketpair()
+
+    def test_roundtrip_and_clean_eof(self):
+        a, b = self.pair()
+        payload = {"kind": "shard", "plan": 0, "shard": 3, "attempt": 2}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+        a.close()
+        assert recv_frame(b) is None  # EOF at a frame boundary is clean
+        b.close()
+
+    def test_oversized_declared_frame_rejected(self):
+        a, b = self.pair()
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(RemoteProtocolError, match="exceeds limit"):
+            recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = self.pair()
+        a.sendall(struct.pack(">I", 10) + b"abc")
+        a.close()
+        with pytest.raises(RemoteProtocolError, match="closed"):
+            recv_frame(b)
+        b.close()
+
+    def test_non_json_payload_raises(self):
+        a, b = self.pair()
+        a.sendall(struct.pack(">I", 4) + b"\xff\xfe\xfd\xfc")
+        with pytest.raises(RemoteProtocolError, match="JSON"):
+            recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_frame_must_be_object_with_kind(self):
+        a, b = self.pair()
+        a.sendall(struct.pack(">I", 2) + b"[]")
+        with pytest.raises(RemoteProtocolError, match="kind"):
+            recv_frame(b)
+        a.close()
+        b.close()
+
+    def test_parse_address(self):
+        assert parse_address("10.0.0.5:9000") == ("10.0.0.5", 9000)
+        assert parse_address(":0") == ("127.0.0.1", 0)
+        assert parse_address("9000") == ("127.0.0.1", 9000)
+        assert parse_address(("", 7)) == ("127.0.0.1", 7)
+        with pytest.raises(CampaignError):
+            parse_address("host:notaport")
+        with pytest.raises(CampaignError):
+            parse_address("host:70000")

@@ -7,17 +7,14 @@ a campaign's execution is perturbed — crashes, dead workers, timeouts,
 kills, resumes — the merged result equals a clean serial run.
 """
 
-import os
 import signal
 import subprocess
 import sys
 import time
-from pathlib import Path
 
 import pytest
 
 from repro.engine import (
-    CampaignPlan,
     ParallelExecutor,
     RetryPolicy,
     SerialExecutor,
@@ -27,47 +24,15 @@ from repro.engine import (
 )
 from repro.engine.executors import TEST_FAULT_ENV
 from repro.errors import CampaignError, ShardFailureError
-from repro.ssd.device import SsdConfig
-from repro.units import GIB, MSEC
-from repro.workload.spec import WorkloadSpec
-
-FAST = RetryPolicy(max_retries=2, backoff_base_s=0.0, backoff_max_s=0.0)
-"""Retry policy with zero backoff so failure-path tests don't sleep."""
-
-
-def small_plan(faults=4, shard_faults=1, seed=42):
-    return CampaignPlan(
-        spec=WorkloadSpec(wss_bytes=1 * GIB, outstanding=8),
-        faults=faults,
-        device=SsdConfig(
-            name="sup-dev", capacity_bytes=2 * GIB, init_time_us=50 * MSEC
-        ),
-        base_seed=seed,
-        label="sup-test",
-        shard_faults=shard_faults,
-    )
-
-
-_BASELINE = {}
-
-
-def clean_summary(faults=4):
-    """Cached summary of an unperturbed serial run of ``small_plan``."""
-    assert TEST_FAULT_ENV not in os.environ, "baseline must run without faults"
-    if faults not in _BASELINE:
-        _BASELINE[faults] = run_plan(small_plan(faults=faults), jobs=1).summary()
-    return _BASELINE[faults]
-
-
-class Events:
-    def __init__(self):
-        self.events = []
-
-    def __call__(self, event):
-        self.events.append(event)
-
-    def kinds(self):
-        return [event.kind for event in self.events]
+from tests.engine_faults import (
+    clean_summary,
+    cli_env as _cli_env,
+    Events,
+    FAST,
+    run_cli as _run_cli,
+    small_plan,
+    summary_table as _summary_table,
+)
 
 
 class TestRetryPaths:
@@ -256,32 +221,6 @@ class TestExecutorPlumbing:
         assert result.summary()["faults"] == 6
 
 
-def _cli_env():
-    env = dict(os.environ)
-    src = str(Path(__file__).resolve().parent.parent / "src")
-    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
-def _run_cli(args, env, timeout=240):
-    return subprocess.run(
-        [sys.executable, "-m", "repro", *args],
-        capture_output=True,
-        text=True,
-        env=env,
-        timeout=timeout,
-    )
-
-
-def _summary_table(stdout):
-    # Drop the run banner (it names the job count); keep the result table.
-    lines = [
-        line
-        for line in stdout.splitlines()
-        if line.strip() and not line.startswith("running ")
-    ]
-    assert lines, "CLI produced no summary table"
-    return lines
 
 
 class TestKillAndResumeCli:

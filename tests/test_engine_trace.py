@@ -220,6 +220,142 @@ class TestTraceReport:
             build_trace_report([])
 
 
+def trace_record(kind, shard, mono, plan="p", **overrides):
+    """One synthetic TraceRecord for report edge-case tests."""
+    from repro.engine.trace import TraceRecord
+
+    fields = dict(
+        kind=kind,
+        plan_label=plan,
+        shard_index=shard,
+        shard_count=4,
+        wall_time_s=1000.0 + mono,
+        mono_time_s=mono,
+        shards_done=0,
+        shards_total=4,
+        cycles_done=0,
+        cycles_total=4,
+        cycles_skipped=0,
+        elapsed_s=max(0.0, mono),
+        cycles_per_sec=0.0,
+    )
+    fields.update(overrides)
+    return TraceRecord(**fields)
+
+
+class TestTraceReportEdgeCases:
+    """Degenerate and adversarial traces must never crash the report."""
+
+    def test_single_record_trace(self):
+        # One started-but-never-finished shard: zero span, no durations,
+        # no percentile/rate division anywhere.
+        report = build_trace_report([trace_record("shard-started", 0, 5.0)])
+        assert report.span_s == 0.0
+        assert report.duration_p50_s is None
+        assert report.slowest == []
+        assert report.shards[0].status == "running"
+        assert "0.00s" in report.render()
+
+    def test_all_quarantined_trace(self):
+        # Every shard poisoned: no shard ever finishes, so there are no
+        # durations and no workers — only the quarantine timeline.
+        records = []
+        for shard in range(3):
+            records.append(trace_record("shard-started", shard, float(shard)))
+            records.append(
+                trace_record(
+                    "shard-quarantined", shard, shard + 0.5,
+                    attempt=3, detail="poison",
+                )
+            )
+        report = build_trace_report(records)
+        assert all(p.status == "quarantined" for p in report.shards)
+        assert report.duration_p50_s is None
+        assert report.workers == {}
+        assert len(report.quarantine_timeline) == 3
+        rendered = report.render()
+        assert "quarantined: 3" in rendered
+        assert "poison" in rendered
+
+    def test_restart_mixed_trace_resets_profiles(self):
+        # A restarted campaign appended to the same trace path: the second
+        # boot's monotonic clock restarts near zero, so raw deltas against
+        # the first run would be negative.  The new run's story must
+        # supersede the old one's — attempts, duration, status — and no
+        # negative duration or span may escape.
+        records = [
+            trace_record("shard-started", 0, 100.0, attempt=1),
+            trace_record("shard-finished", 0, 104.0, attempt=2),
+            # second boot, fresh monotonic epoch
+            trace_record("shard-started", 0, 1.0, attempt=1),
+            trace_record("shard-finished", 0, 1.5, attempt=1),
+        ]
+        report = build_trace_report(records)
+        profile = report.shards[0]
+        assert profile.status == "completed"
+        assert profile.attempts == 1  # the restart's count, not 2
+        assert profile.duration_s == pytest.approx(0.5)
+        assert report.span_s == 0.0  # clamped, not -98.5
+
+    def test_cross_boot_finish_yields_no_duration(self):
+        # A finish whose matching start came from a different boot (mono
+        # went backwards with no intervening start) must not produce a
+        # negative duration.
+        records = [
+            trace_record("shard-started", 0, 100.0),
+            trace_record("shard-finished", 0, 2.0),
+        ]
+        report = build_trace_report(records)
+        assert report.shards[0].duration_s is None
+        assert report.slowest == []
+        assert report.retry_timeline == []
+
+    def test_two_plans_do_not_cross_attribute(self):
+        # Shard 0 of plan A and shard 0 of plan B share an index; the
+        # report must keep their stories separate.
+        records = [
+            trace_record("shard-started", 0, 0.0, plan="a"),
+            trace_record("shard-started", 0, 1.0, plan="b"),
+            trace_record("shard-finished", 0, 2.0, plan="a", attempt=1),
+            trace_record("shard-quarantined", 0, 3.0, plan="b", attempt=3),
+        ]
+        report = build_trace_report(records)
+        assert report.plans == ["a", "b"]
+        by_plan = {p.plan_label: p for p in report.shards}
+        assert by_plan["a"].status == "completed"
+        assert by_plan["a"].duration_s == pytest.approx(2.0)
+        assert by_plan["b"].status == "quarantined"
+        assert by_plan["b"].duration_s is None
+
+    def test_distributed_worker_attribution(self):
+        # "host:pid" identities from distributed runs land in the per-
+        # worker tally and on the slowest-shard lines.
+        records = [
+            trace_record("shard-started", 0, 0.0, worker_pid="boxa:10"),
+            trace_record("shard-started", 1, 0.0, worker_pid="boxb:20"),
+            trace_record("shard-finished", 0, 3.0, worker_pid="boxa:10"),
+            trace_record("shard-finished", 1, 1.0, worker_pid="boxb:20"),
+            trace_record("shard-started", 2, 1.0, worker_pid="boxb:20"),
+            trace_record("shard-finished", 2, 2.0, worker_pid="boxb:20"),
+        ]
+        report = build_trace_report(records)
+        assert report.workers == {"boxa:10": 1, "boxb:20": 2}
+        rendered = report.render()
+        assert "shards per worker: boxb:20: 2, boxa:10: 1" in rendered
+        assert "worker=boxa:10" in rendered
+
+    def test_retry_before_first_start_clamps_elapsed(self):
+        # A retry record that predates the report's base timestamp (mixed
+        # epochs again) clamps to +0.00s instead of going negative.
+        records = [
+            trace_record("shard-started", 0, 50.0),
+            trace_record("shard-retried", 0, 10.0, attempt=1, detail="lost"),
+        ]
+        report = build_trace_report(records)
+        assert report.retry_timeline[0].elapsed_s == 0.0
+        assert "+0.00s" in report.render()
+
+
 class TestResumedEtaAccounting:
     """Regression: checkpoint-loaded cycles must not inflate throughput."""
 

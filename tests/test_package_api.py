@@ -60,6 +60,7 @@ DOCTEST_MODULES = [
     "repro.nand.rs_codec",
     "repro.nand.threshold",
     "repro.engine.plan",
+    "repro.engine.executors",
     "repro.ftl.mapping",
     "repro.ftl.extent_mapping",
     "repro.ftl.wear",
