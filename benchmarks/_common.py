@@ -33,12 +33,16 @@ none of these affect result numbers (retried shards are deterministic).
 Profiling: ``REPRO_BENCH_TRACE`` names a directory of per-campaign
 telemetry traces (``<dir>/<label-slug>.trace.jsonl``, one JSONL record
 per shard event); feed any of them to ``repro trace report`` to find the
-stragglers, retries, and checkpoint lag of a paper-scale sweep.
+stragglers, retries, and checkpoint lag of a paper-scale sweep — or
+watch the whole sweep live from one terminal with ``repro trace report
+--follow <dir>`` (directory mode multiplexes every trace and discovers
+new campaigns as they start).
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -105,9 +109,26 @@ def bench_trace_dir() -> Optional[str]:
 
     When set, every bench campaign appends its per-shard engine events to
     ``<dir>/<label-slug>.trace.jsonl`` — profile them afterwards with
-    ``repro trace report``.
+    ``repro trace report``, or watch the sweep live with
+    ``repro trace report --follow <dir>``.
     """
     return os.environ.get("REPRO_BENCH_TRACE") or None
+
+
+_follow_hint_emitted = False
+
+
+def _emit_follow_hint(directory: str) -> None:
+    """One stderr hint per process: a traced sweep can be watched live."""
+    global _follow_hint_emitted
+    if _follow_hint_emitted:
+        return
+    _follow_hint_emitted = True
+    print(
+        f"[trace] watch this sweep live: "
+        f"python -m repro trace report --follow {directory}",
+        file=sys.stderr,
+    )
 
 
 def _campaign_slug(label: str) -> str:
@@ -161,6 +182,8 @@ def run_campaign(
     )
     checkpoint = _checkpoint_path(plan.label)
     trace = _trace_path(plan.label)
+    if trace is not None:
+        _emit_follow_hint(bench_trace_dir())
     tracer = TraceWriter(trace) if trace is not None else None
     try:
         return run_plan(

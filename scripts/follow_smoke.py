@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""End-to-end live-trace-following smoke test (used by CI).
+
+Attaches a ``repro trace report --follow`` subprocess to a trace path
+that does not exist yet, then runs a traced campaign with artificially
+slow shards (so the follower genuinely observes the run in flight, torn
+tails and all) and requires:
+
+- the follower exits 0 on its own once the final ``plan-finished``
+  record lands — no signal is ever sent to it;
+- the follower's final aggregate report is byte-identical to
+  ``repro trace report`` run post-hoc on the same file.
+
+Set ``FOLLOW_SMOKE_TRACE_DIR`` to keep the trace file (CI uploads it as
+an artifact); by default it lives and dies with the temp directory.
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/follow_smoke.py
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ARGS = [
+    "campaign",
+    "--faults", "4",
+    "--shard-faults", "1",
+    "--wss-gib", "4",
+    "--jobs", "2",
+]
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+TRACE_DIR_ENV = "FOLLOW_SMOKE_TRACE_DIR"
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def main():
+    env = cli_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_dir = Path(os.environ.get(TRACE_DIR_ENV) or tmp)
+        trace_dir.mkdir(parents=True, exist_ok=True)
+        trace = trace_dir / "followed.trace.jsonl"
+
+        # The follower attaches first, to a file that does not exist yet.
+        follower = subprocess.Popen(
+            [sys.executable, "-m", "repro", "trace", "report",
+             "--follow", str(trace), "--interval", "0.2"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+
+        slow_env = dict(env)
+        slow_env[FAULT_ENV] = "slow:*:*:0.4"  # keep the run observably live
+        campaign = subprocess.run(
+            [sys.executable, "-m", "repro", *ARGS, "--trace", str(trace)],
+            capture_output=True,
+            text=True,
+            env=slow_env,
+            timeout=600,
+        )
+        if campaign.returncode != 0:
+            follower.kill()
+            follower.communicate()
+            print(f"FAIL: campaign exited {campaign.returncode}\n{campaign.stderr}")
+            return 1
+
+        try:
+            followed_out, followed_err = follower.communicate(timeout=120)
+        except subprocess.TimeoutExpired:
+            follower.kill()
+            follower.communicate()
+            print("FAIL: follower did not exit after the campaign finished")
+            return 1
+        if follower.returncode != 0:
+            print(f"FAIL: follower exited {follower.returncode}\n{followed_err}")
+            return 1
+        snapshots = [
+            line for line in followed_err.splitlines() if line.startswith("[follow]")
+        ]
+        if not snapshots:
+            print("FAIL: follower rendered no snapshot lines")
+            return 1
+        print(f"follower: exit 0 after {len(snapshots)} snapshot(s)")
+
+        posthoc = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "report", str(trace)],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+        if posthoc.returncode != 0:
+            print(f"FAIL: post-hoc report exited {posthoc.returncode}\n{posthoc.stderr}")
+            return 1
+        if followed_out != posthoc.stdout:
+            print("FAIL: follower's final report differs from the post-hoc report")
+            print("--- follower ---")
+            print(followed_out)
+            print("--- post-hoc ---")
+            print(posthoc.stdout)
+            return 1
+
+    print("OK: live follower matched the post-hoc trace report exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,7 @@ Usage (installed or via ``python -m repro``)::
     python -m repro post-ack --intervals 50,250,450,800
     python -m repro smart --device ssd-b --faults 3
     python -m repro trace report run.trace.jsonl
+    python -m repro trace report --follow run.trace.jsonl   # live dashboard
     python -m repro checkpoint compact run.ck.jsonl
 """
 
@@ -167,6 +168,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes; the fleet's per-device shards run concurrently",
     )
+    fleet.add_argument(
+        "--progress", action="store_true", help="print engine shard telemetry to stderr"
+    )
     _add_fault_tolerance_flags(fleet)
 
     worker = sub.add_parser(
@@ -194,9 +198,28 @@ def build_parser() -> argparse.ArgumentParser:
     trace_report = trace_sub.add_parser(
         "report", help="straggler/retry analysis of one trace JSONL"
     )
-    trace_report.add_argument("path", help="trace file written by --trace/REPRO_BENCH_TRACE")
+    trace_report.add_argument(
+        "path",
+        help="trace file written by --trace, or a REPRO_BENCH_TRACE directory",
+    )
     trace_report.add_argument(
         "--top", type=int, default=5, help="how many slowest shards to list (default 5)"
+    )
+    trace_report.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "tail a growing trace live (waits for the file to appear; a "
+            "directory follows a whole bench sweep); exits at the final "
+            "plan-finished record or Ctrl-C"
+        ),
+    )
+    trace_report.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="snapshot cadence with --follow (default 2)",
     )
 
     checkpoint = sub.add_parser(
@@ -395,6 +418,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         wss_bytes=args.wss_gib * GIB, read_fraction=0.0, outstanding=16
     )
     tracer = TraceWriter(args.trace) if args.trace else None
+    # Same composition as `campaign`: --progress renders to stderr, --trace
+    # persists, either alone or both (the flag used to be dropped here).
+    engine_progress = fanout_hooks(
+        ConsoleProgress() if args.progress else None, tracer
+    )
     try:
         results = run_fleet(
             models.table_one_units(),
@@ -405,7 +433,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             progress=lambda name, result: print(
                 f"  {name}: {result.total_data_loss} data loss over {result.faults} faults"
             ),
-            engine_progress=tracer,
+            engine_progress=engine_progress,
             **_engine_kwargs(args),
         )
     finally:
@@ -444,22 +472,50 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     return run_worker(args.connect, connect_timeout_s=args.connect_timeout)
 
 
-def _cmd_trace_report(args: argparse.Namespace) -> int:
-    from pathlib import Path
-
+def _report_one_trace(path, top: int) -> int:
+    """Post-hoc report of one trace file (the classic ``trace report``)."""
     from repro.engine import build_trace_report, read_trace
 
-    if not Path(args.path).exists():
-        print(f"trace file not found: {args.path}", file=sys.stderr)
-        return 2
     try:
-        records = read_trace(args.path)
-        report = build_trace_report(records, slowest=max(0, args.top))
+        records = read_trace(path)
+        report = build_trace_report(records, slowest=max(0, top))
     except EngineTraceError as exc:
         print(f"[trace] {exc}", file=sys.stderr)
         return 1
     print(report.render())
     return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.interval is not None and not args.follow:
+        print("--interval requires --follow", file=sys.stderr)
+        return 2
+    if args.follow:
+        # Follow mode tolerates a missing path: the follower may attach
+        # before the campaign creates its trace.
+        from repro.engine.live import DEFAULT_INTERVAL_S, follow_trace
+
+        interval = args.interval if args.interval is not None else DEFAULT_INTERVAL_S
+        return follow_trace(args.path, interval_s=interval, top=max(0, args.top))
+    path = Path(args.path)
+    if path.is_dir():
+        files = sorted(path.glob("*.jsonl"))
+        if not files:
+            print(f"no trace files in directory: {path}", file=sys.stderr)
+            return 2
+        code = 0
+        for index, file in enumerate(files):
+            if index:
+                print()
+            print(f"== {file.name} ==")
+            code = code or _report_one_trace(file, args.top)
+        return code
+    if not path.exists():
+        print(f"trace file not found: {args.path}", file=sys.stderr)
+        return 2
+    return _report_one_trace(path, args.top)
 
 
 def _cmd_checkpoint_compact(args: argparse.Namespace) -> int:

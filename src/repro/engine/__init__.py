@@ -61,6 +61,7 @@ from repro.engine.progress import (
     ConsoleProgress,
     EngineTelemetry,
     fanout_hooks,
+    format_eta,
     PLAN_EVENT_INDEX,
     ProgressEvent,
     ProgressHook,
@@ -76,9 +77,17 @@ from repro.engine.trace import (
     build_trace_report,
     load_trace_report,
     read_trace,
+    TraceCursor,
     TraceReport,
+    TraceReportBuilder,
     TraceRecord,
     TraceWriter,
+)
+from repro.engine.live import (
+    FollowSession,
+    follow_trace,
+    LiveRenderer,
+    TraceSource,
 )
 from repro.errors import CampaignError
 
@@ -295,6 +304,8 @@ __all__ = [
     "DEFAULT_SHARD_FAULTS",
     "EngineTelemetry",
     "ExecutionStats",
+    "FollowSession",
+    "LiveRenderer",
     "PLAN_EVENT_INDEX",
     "ParallelExecutor",
     "ProgressEvent",
@@ -307,13 +318,18 @@ __all__ = [
     "ShardSpec",
     "ShardSupervisor",
     "ShardTiming",
+    "TraceCursor",
     "TraceRecord",
     "TraceReport",
+    "TraceReportBuilder",
+    "TraceSource",
     "TraceWriter",
     "build_trace_report",
     "compact_journal",
     "derive_shard_seed",
     "fanout_hooks",
+    "follow_trace",
+    "format_eta",
     "load_resume_state",
     "load_trace_report",
     "make_executor",

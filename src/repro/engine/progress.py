@@ -71,6 +71,15 @@ class ProgressEvent:
 ProgressHook = Callable[[ProgressEvent], None]
 
 
+def format_eta(eta_s: Optional[float]) -> str:
+    """Render an ETA estimate (``"?"`` until throughput is known).
+
+    Shared by :class:`ConsoleProgress` and the live follow dashboard
+    (:mod:`repro.engine.live`) so the two surfaces can't disagree.
+    """
+    return f"{eta_s:.0f}s" if eta_s is not None else "?"
+
+
 def fanout_hooks(*hooks: Optional[ProgressHook]) -> Optional[ProgressHook]:
     """Combine hooks into one (``None`` entries dropped; empty -> ``None``)."""
     live = [hook for hook in hooks if hook is not None]
@@ -310,7 +319,7 @@ class ConsoleProgress:
     def __call__(self, event: ProgressEvent) -> None:
         if event.kind in self.QUIET_KINDS and not self.verbose:
             return
-        eta = f"{event.eta_s:.0f}s" if event.eta_s is not None else "?"
+        eta = format_eta(event.eta_s)
         if event.shard_index == PLAN_EVENT_INDEX:
             scope = f"all {event.shard_count} shards"
         else:

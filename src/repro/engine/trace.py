@@ -15,15 +15,20 @@ the fact, never depending on in-memory state:
   sweep doesn't serialise on the disk; failure-relevant kinds (retry,
   quarantine, plan-finished) force an immediate fsync so forensic records
   survive a crash.
-- :func:`read_trace` replays a trace file, tolerating a torn final line
-  (crash mid-append) exactly like the checkpoint journal's replay.
-- :func:`build_trace_report` / :class:`TraceReport` reconstruct per-shard
-  execution from the event stream and compute the straggler story:
-  p50/p95/max shard duration, the slowest-N shards, retry and quarantine
-  timelines, and checkpoint-commit lag.
+- :class:`TraceCursor` incrementally tails a trace — it remembers its
+  byte offset, *retains* a partial final line until the writer completes
+  it, and detects truncation/rotation — so a live follower and the
+  post-hoc replay share one parsing path.  :func:`read_trace` is a single
+  cursor poll, parameterized by whether the writer is presumed alive.
+- :class:`TraceReportBuilder` folds records into report state in O(1)
+  per record; :func:`build_trace_report` / :class:`TraceReport`
+  reconstruct per-shard execution from the event stream and compute the
+  straggler story: p50/p95/max shard duration, the slowest-N shards,
+  retry and quarantine timelines, and checkpoint-commit lag.
 
-The CLI surfaces this as ``repro trace report <path>`` (and grows a
-``--trace PATH`` flag on ``campaign``/``fleet``); benches honour
+The CLI surfaces this as ``repro trace report <path>`` (post-hoc, or
+live with ``--follow`` — see :mod:`repro.engine.live`) and a ``--trace
+PATH`` flag on ``campaign``/``fleet``; benches honour
 ``REPRO_BENCH_TRACE`` (see :mod:`benchmarks._common`).
 """
 
@@ -196,60 +201,195 @@ class TraceWriter:
 # -- reading ------------------------------------------------------------------------
 
 
+def _coerce_float(name: str, value, optional: bool = False) -> Optional[float]:
+    """A JSON number as float; ``None`` passes only for optional fields.
+
+    Strings, booleans, and other JSON types are rejected: a foreign or
+    hand-edited trace must not flow ``str`` into report math.
+    """
+    if value is None:
+        if optional:
+            return None
+        raise EngineTraceError(f"trace field {name!r} must not be null")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EngineTraceError(
+            f"trace field {name!r} must be a number, got {type(value).__name__}"
+        )
+    return float(value)
+
+
+def _coerce_int(name: str, value, optional: bool = False) -> Optional[int]:
+    """A JSON integer (integral floats tolerated) as int."""
+    number = _coerce_float(name, value, optional=optional)
+    if number is None:
+        return None
+    if number != int(number):
+        raise EngineTraceError(
+            f"trace field {name!r} must be an integer, got {value!r}"
+        )
+    return int(number)
+
+
 def record_from_dict(payload: Dict) -> TraceRecord:
-    """Build a :class:`TraceRecord` from one decoded JSON object."""
+    """Build a :class:`TraceRecord` from one decoded JSON object.
+
+    Numeric fields are type-checked and coerced (ints where counts are
+    expected, floats for timings — including the optional ``eta_s`` /
+    ``commit_lag_s`` / ``attempt``); wrong-typed values raise
+    :class:`~repro.errors.EngineTraceError` instead of flowing raw JSON
+    into report math.
+    """
     missing = [name for name in REQUIRED_FIELDS if name not in payload]
     if missing:
         raise EngineTraceError(f"trace record missing fields {missing}")
+    kind = payload["kind"]
+    plan = payload["plan"]
+    if not isinstance(kind, str) or not isinstance(plan, str):
+        raise EngineTraceError("trace record kind/plan must be strings")
+    worker_pid = payload.get("worker_pid")
+    if worker_pid is not None and not isinstance(worker_pid, (int, str)):
+        raise EngineTraceError(
+            f"trace field 'worker_pid' must be an int or string, "
+            f"got {type(worker_pid).__name__}"
+        )
+    detail = payload.get("detail", "") or ""
+    if not isinstance(detail, str):
+        raise EngineTraceError("trace field 'detail' must be a string")
     return TraceRecord(
-        kind=payload["kind"],
-        plan_label=payload["plan"],
-        shard_index=int(payload["shard"]),
-        shard_count=int(payload["shard_count"]),
-        wall_time_s=float(payload["wall_time_s"]),
-        mono_time_s=float(payload["mono_time_s"]),
-        shards_done=int(payload["shards_done"]),
-        shards_total=int(payload["shards_total"]),
-        cycles_done=int(payload["cycles_done"]),
-        cycles_total=int(payload["cycles_total"]),
-        cycles_skipped=int(payload["cycles_skipped"]),
-        elapsed_s=float(payload["elapsed_s"]),
-        cycles_per_sec=float(payload["cycles_per_sec"]),
-        eta_s=payload.get("eta_s"),
-        attempt=payload.get("attempt"),
-        worker_pid=payload.get("worker_pid"),
-        commit_lag_s=payload.get("commit_lag_s"),
-        detail=payload.get("detail", "") or "",
+        kind=kind,
+        plan_label=plan,
+        shard_index=_coerce_int("shard", payload["shard"]),
+        shard_count=_coerce_int("shard_count", payload["shard_count"]),
+        wall_time_s=_coerce_float("wall_time_s", payload["wall_time_s"]),
+        mono_time_s=_coerce_float("mono_time_s", payload["mono_time_s"]),
+        shards_done=_coerce_int("shards_done", payload["shards_done"]),
+        shards_total=_coerce_int("shards_total", payload["shards_total"]),
+        cycles_done=_coerce_int("cycles_done", payload["cycles_done"]),
+        cycles_total=_coerce_int("cycles_total", payload["cycles_total"]),
+        cycles_skipped=_coerce_int("cycles_skipped", payload["cycles_skipped"]),
+        elapsed_s=_coerce_float("elapsed_s", payload["elapsed_s"]),
+        cycles_per_sec=_coerce_float("cycles_per_sec", payload["cycles_per_sec"]),
+        eta_s=_coerce_float("eta_s", payload.get("eta_s"), optional=True),
+        attempt=_coerce_int("attempt", payload.get("attempt"), optional=True),
+        worker_pid=worker_pid,
+        commit_lag_s=_coerce_float(
+            "commit_lag_s", payload.get("commit_lag_s"), optional=True
+        ),
+        detail=detail,
     )
 
 
-def read_trace(path: PathLike) -> List[TraceRecord]:
-    """Replay a trace file, tolerating a torn tail.
+class TraceCursor:
+    """Incremental, restart-aware reader of one (possibly growing) trace.
 
-    A final line that fails to parse or validate is discarded (the writer
-    crashed mid-append); damage anywhere earlier raises
-    :class:`~repro.errors.EngineTraceError`.
+    A cursor owns no file handle — each :meth:`poll` opens the file,
+    reads everything past the remembered byte offset, and parses the
+    newline-terminated lines it finds.  Bytes after the last newline are
+    a *partial* final line: while the writer is alive they are an append
+    in flight, so the cursor **retains** them across polls and parses the
+    line once the writer completes it (dropping them, as the old
+    post-hoc reader did, would lose a record forever).  A truncated or
+    rotated file (the size shrank below the offset, or the inode
+    changed — a restarted run reusing the path) resets the cursor to the
+    beginning and bumps :attr:`truncations` so a follower can reset its
+    view instead of mixing two runs' stories.
+
+    ``live`` selects the torn-tail policy: ``True`` (writer presumed
+    alive) treats any *complete* unparsable line as corruption — the
+    writer appends whole lines, so garbage before a newline cannot be an
+    append in flight; ``False`` (post-hoc, writer known dead) drops an
+    unparsable final line as the classic crash-mid-append torn tail.
+    """
+
+    def __init__(self, path: PathLike, live: bool = True) -> None:
+        self.path = Path(path)
+        self.live = live
+        self.consumed_bytes = 0
+        self.line_number = 0
+        self.truncations = 0
+        self._tail = b""
+        self._inode: Optional[int] = None
+
+    @property
+    def pending_tail(self) -> bool:
+        """True when a partial final line is buffered awaiting completion."""
+        return bool(self._tail)
+
+    def _reset(self) -> None:
+        self.consumed_bytes = 0
+        self.line_number = 0
+        self._tail = b""
+        self.truncations += 1
+
+    def _dead_tail(self, pieces: List[bytes], position: int) -> bool:
+        """Is the failing line the effective end of a dead writer's file?"""
+        if self._tail.strip():
+            return False
+        return all(not piece.strip() for piece in pieces[position + 1 :])
+
+    def poll(self) -> List[TraceRecord]:
+        """Consume newly-appended records (empty list when nothing new)."""
+        try:
+            stat = self.path.stat()
+        except FileNotFoundError:
+            if self.consumed_bytes or self._tail:
+                # The file vanished under us (rotation); start over when
+                # (if) it reappears.
+                self._reset()
+                self._inode = None
+            return []
+        if self._inode is not None and stat.st_ino != self._inode:
+            self._reset()
+        elif stat.st_size < self.consumed_bytes:
+            self._reset()
+        self._inode = stat.st_ino
+        if stat.st_size <= self.consumed_bytes:
+            return []
+        with self.path.open("rb") as handle:
+            handle.seek(self.consumed_bytes)
+            chunk = handle.read()
+        if not chunk:
+            return []
+        self.consumed_bytes += len(chunk)
+        pieces = (self._tail + chunk).split(b"\n")
+        self._tail = pieces.pop()  # bytes after the last newline, if any
+        records: List[TraceRecord] = []
+        for position, raw in enumerate(pieces):
+            self.line_number += 1
+            try:
+                text = raw.decode("utf-8")
+                if not text.strip():
+                    continue
+                payload = json.loads(text)
+                if not isinstance(payload, dict):
+                    raise EngineTraceError("trace line is not an object")
+                records.append(record_from_dict(payload))
+            except (ValueError, EngineTraceError) as exc:
+                if not self.live and self._dead_tail(pieces, position):
+                    break  # torn tail: the writer died mid-append
+                raise EngineTraceError(
+                    f"corrupt trace record at line {self.line_number} "
+                    f"of {self.path}"
+                ) from exc
+        return records
+
+
+def read_trace(path: PathLike, live: bool = False) -> List[TraceRecord]:
+    """Replay a trace file, tolerating a torn tail (one cursor poll).
+
+    With ``live=False`` (the default — writer known dead) a final line
+    that fails to parse or validate is discarded as a crash mid-append;
+    with ``live=True`` an incomplete final line is silently withheld (it
+    may still be completed) and a complete garbage line raises.  Damage
+    anywhere earlier always raises
+    :class:`~repro.errors.EngineTraceError`.  Post-hoc analysis and
+    follow mode (:mod:`repro.engine.live`) share this single parsing
+    path, so their torn-tail policies can never drift.
     """
     trace_path = Path(path)
     if not trace_path.exists():
         raise EngineTraceError(f"trace file not found: {trace_path}")
-    lines = trace_path.read_text(encoding="utf-8").splitlines()
-    while lines and not lines[-1].strip():
-        lines.pop()
-    records: List[TraceRecord] = []
-    for index, line in enumerate(lines):
-        try:
-            payload = json.loads(line)
-            if not isinstance(payload, dict):
-                raise EngineTraceError("trace line is not an object")
-            records.append(record_from_dict(payload))
-        except (ValueError, EngineTraceError) as exc:
-            if index == len(lines) - 1:
-                break  # torn tail: writer died mid-append
-            raise EngineTraceError(
-                f"corrupt trace record at line {index + 1} of {trace_path}"
-            ) from exc
-    return records
+    return TraceCursor(trace_path, live=live).poll()
 
 
 # -- analysis -----------------------------------------------------------------------
@@ -380,35 +520,47 @@ def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
     return sorted_values[int(rank)]
 
 
-def build_trace_report(
-    records: Sequence[TraceRecord], slowest: int = 5
-) -> TraceReport:
-    """Reconstruct per-shard execution and the straggler story from a trace."""
-    if not records:
-        raise EngineTraceError("trace contains no records")
-    profiles: Dict[Tuple[str, int], ShardProfile] = {}
-    plans: List[str] = []
-    retry_timeline: List[TimelineEntry] = []
-    quarantine_timeline: List[TimelineEntry] = []
-    base_mono = records[0].mono_time_s
+class TraceReportBuilder:
+    """Incrementally folds trace records into :class:`TraceReport` state.
 
-    def profile(record: TraceRecord) -> ShardProfile:
+    :meth:`add` is O(1) per record, so a follower updates its view in
+    O(new records) per poll; :meth:`report` ranks durations on demand
+    (O(shards log shards), paid per *render*, never per record).
+    :func:`build_trace_report` is a thin wrapper — one ``add_all`` plus
+    one ``report()`` — so follow-mode aggregation and the post-hoc report
+    are the same computation and can never drift.
+    """
+
+    def __init__(self) -> None:
+        self.profiles: Dict[Tuple[str, int], ShardProfile] = {}
+        self.plans: List[str] = []
+        self.retry_timeline: List[TimelineEntry] = []
+        self.quarantine_timeline: List[TimelineEntry] = []
+        self.workers: Dict[str, int] = {}
+        self.events = 0
+        self.base_mono: Optional[float] = None
+        self.last_record: Optional[TraceRecord] = None
+
+    def _profile(self, record: TraceRecord) -> ShardProfile:
         key = record.shard_key
-        if key not in profiles:
-            profiles[key] = ShardProfile(
+        if key not in self.profiles:
+            self.profiles[key] = ShardProfile(
                 plan_label=record.plan_label, shard_index=record.shard_index
             )
-        return profiles[key]
+        return self.profiles[key]
 
-    workers: Dict[str, int] = {}
-
-    for record in records:
-        if record.plan_label not in plans:
-            plans.append(record.plan_label)
+    def add(self, record: TraceRecord) -> None:
+        """Fold one record into the running per-shard state."""
+        self.events += 1
+        if self.base_mono is None:
+            self.base_mono = record.mono_time_s
+        self.last_record = record
+        if record.plan_label not in self.plans:
+            self.plans.append(record.plan_label)
         if record.shard_index == PLAN_EVENT_INDEX:
-            continue  # plan-level event, not a shard
+            return  # plan-level event, not a shard
         if record.kind == "shard-started":
-            entry = profile(record)
+            entry = self._profile(record)
             if entry.status != "running":
                 # A start after completion means the trace file mixes runs
                 # (a restarted campaign appended to the same path); the new
@@ -422,7 +574,7 @@ def build_trace_report(
             if record.worker_pid is not None:
                 entry.worker = str(record.worker_pid)
         elif record.kind == "shard-finished":
-            entry = profile(record)
+            entry = self._profile(record)
             entry.status = "completed"
             if record.attempt is not None:
                 entry.attempts = max(entry.attempts, record.attempt)
@@ -434,13 +586,13 @@ def build_trace_report(
             if record.worker_pid is not None:
                 entry.worker = str(record.worker_pid)
             if entry.worker is not None:
-                workers[entry.worker] = workers.get(entry.worker, 0) + 1
+                self.workers[entry.worker] = self.workers.get(entry.worker, 0) + 1
         elif record.kind == "shard-retried":
-            entry = profile(record)
+            entry = self._profile(record)
             entry.retry_reasons.append(record.detail)
-            retry_timeline.append(
+            self.retry_timeline.append(
                 TimelineEntry(
-                    elapsed_s=max(0.0, record.mono_time_s - base_mono),
+                    elapsed_s=max(0.0, record.mono_time_s - self.base_mono),
                     plan_label=record.plan_label,
                     shard_index=record.shard_index,
                     attempt=record.attempt,
@@ -448,16 +600,16 @@ def build_trace_report(
                 )
             )
         elif record.kind == "shard-skipped":
-            entry = profile(record)
+            entry = self._profile(record)
             entry.status = "skipped"
         elif record.kind == "shard-quarantined":
-            entry = profile(record)
+            entry = self._profile(record)
             entry.status = "quarantined"
             if record.attempt is not None:
                 entry.attempts = max(entry.attempts, record.attempt)
-            quarantine_timeline.append(
+            self.quarantine_timeline.append(
                 TimelineEntry(
-                    elapsed_s=max(0.0, record.mono_time_s - base_mono),
+                    elapsed_s=max(0.0, record.mono_time_s - self.base_mono),
                     plan_label=record.plan_label,
                     shard_index=record.shard_index,
                     attempt=record.attempt,
@@ -466,41 +618,81 @@ def build_trace_report(
             )
         elif record.kind == "checkpoint-written":
             if record.commit_lag_s is not None:
-                profile(record).commit_lag_s = record.commit_lag_s
+                self._profile(record).commit_lag_s = record.commit_lag_s
 
-    shards = list(profiles.values())
-    durations = sorted(
-        p.duration_s for p in shards if p.duration_s is not None
-    )
-    lags = sorted(p.commit_lag_s for p in shards if p.commit_lag_s is not None)
-    ranked = sorted(
-        (p for p in shards if p.duration_s is not None),
-        key=lambda p: p.duration_s,
-        reverse=True,
-    )
-    last = records[-1]
-    # Clamped: a restarted run appended to the same file makes raw mono
-    # deltas meaningless (and possibly negative).
-    span = max(0.0, last.mono_time_s - base_mono)
-    return TraceReport(
-        events=len(records),
-        plans=plans,
-        shards=shards,
-        skipped=sum(1 for p in shards if p.status == "skipped"),
-        span_s=span,
-        cycles_executed=last.cycles_done - last.cycles_skipped,
-        cycles_skipped=last.cycles_skipped,
-        effective_cycles_per_sec=last.cycles_per_sec,
-        duration_p50_s=_percentile(durations, 0.50) if durations else None,
-        duration_p95_s=_percentile(durations, 0.95) if durations else None,
-        duration_max_s=durations[-1] if durations else None,
-        slowest=ranked[: max(0, slowest)],
-        retry_timeline=retry_timeline,
-        quarantine_timeline=quarantine_timeline,
-        commit_lag_p50_s=_percentile(lags, 0.50) if lags else None,
-        commit_lag_max_s=lags[-1] if lags else None,
-        workers=workers,
-    )
+    def add_all(self, records: Sequence[TraceRecord]) -> None:
+        for record in records:
+            self.add(record)
+
+    # -- live-view accessors --------------------------------------------------------
+
+    def running_shards(self) -> List[ShardProfile]:
+        """Shards started but not yet finished/skipped/quarantined."""
+        return [p for p in self.profiles.values() if p.status == "running"]
+
+    def shard_age_s(self, profile: ShardProfile) -> Optional[float]:
+        """How long a running shard has been in flight, in *trace* time.
+
+        Measured against the newest record's monotonic timestamp — not
+        the follower's own clock, which may live on another machine (or
+        another boot) than the writer's.
+        """
+        if profile._last_started_mono is None or self.last_record is None:
+            return None
+        return max(0.0, self.last_record.mono_time_s - profile._last_started_mono)
+
+    # -- report ---------------------------------------------------------------------
+
+    def report(self, slowest: int = 5) -> TraceReport:
+        """The straggler report over everything folded in so far."""
+        if not self.events:
+            raise EngineTraceError("trace contains no records")
+        shards = list(self.profiles.values())
+        durations = sorted(
+            p.duration_s for p in shards if p.duration_s is not None
+        )
+        lags = sorted(
+            p.commit_lag_s for p in shards if p.commit_lag_s is not None
+        )
+        ranked = sorted(
+            (p for p in shards if p.duration_s is not None),
+            key=lambda p: p.duration_s,
+            reverse=True,
+        )
+        last = self.last_record
+        # Clamped: a restarted run appended to the same file makes raw mono
+        # deltas meaningless (and possibly negative).
+        span = max(0.0, last.mono_time_s - self.base_mono)
+        return TraceReport(
+            events=self.events,
+            plans=list(self.plans),
+            shards=shards,
+            skipped=sum(1 for p in shards if p.status == "skipped"),
+            span_s=span,
+            cycles_executed=last.cycles_done - last.cycles_skipped,
+            cycles_skipped=last.cycles_skipped,
+            effective_cycles_per_sec=last.cycles_per_sec,
+            duration_p50_s=_percentile(durations, 0.50) if durations else None,
+            duration_p95_s=_percentile(durations, 0.95) if durations else None,
+            duration_max_s=durations[-1] if durations else None,
+            slowest=ranked[: max(0, slowest)],
+            retry_timeline=list(self.retry_timeline),
+            quarantine_timeline=list(self.quarantine_timeline),
+            commit_lag_p50_s=_percentile(lags, 0.50) if lags else None,
+            commit_lag_max_s=lags[-1] if lags else None,
+            workers=dict(self.workers),
+        )
+
+
+def build_trace_report(
+    records: Sequence[TraceRecord], slowest: int = 5
+) -> TraceReport:
+    """Reconstruct per-shard execution and the straggler story from a trace."""
+    if not records:
+        raise EngineTraceError("trace contains no records")
+    builder = TraceReportBuilder()
+    builder.add_all(records)
+    return builder.report(slowest=slowest)
 
 
 def load_trace_report(path: PathLike, slowest: int = 5) -> TraceReport:

@@ -92,11 +92,24 @@ class TestParser:
         assert args.trace_command == "report"
         assert args.path == "run.trace.jsonl"
         assert args.top == 5
+        assert args.follow is False
+        assert args.interval is None
         assert build_parser().parse_args(
             ["trace", "report", "x", "--top", "3"]
         ).top == 3
         with pytest.raises(SystemExit):  # the subcommand is required
             build_parser().parse_args(["trace"])
+
+    def test_trace_report_follow_flags(self):
+        args = build_parser().parse_args(
+            ["trace", "report", "run.trace.jsonl", "--follow", "--interval", "0.5"]
+        )
+        assert args.follow is True
+        assert args.interval == 0.5
+
+    def test_fleet_progress_flag(self):
+        assert build_parser().parse_args(["fleet", "--progress"]).progress is True
+        assert build_parser().parse_args(["fleet"]).progress is False
 
     def test_checkpoint_compact_subcommand(self):
         args = build_parser().parse_args(["checkpoint", "compact", "ck.jsonl"])
@@ -223,6 +236,60 @@ class TestCommands:
     def test_trace_report_missing_file(self, capsys, tmp_path):
         assert main(["trace", "report", str(tmp_path / "nope.jsonl")]) == 2
         assert "not found" in capsys.readouterr().err
+
+    def test_fleet_progress_reaches_stderr(self, capsys, tmp_path):
+        # Regression: --progress used to hand the engine only the trace
+        # writer, so the console hook never saw a single shard event.
+        trace = tmp_path / "fleet.trace.jsonl"
+        code = main(
+            ["fleet", "--faults", "2", "--wss-gib", "2", "--progress",
+             "--trace", str(trace)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[engine] shard-finished" in err
+        assert "[engine] plan-finished" in err
+        assert trace.exists()  # the trace still records the same run
+
+    def test_interval_requires_follow(self, capsys, tmp_path):
+        assert main(
+            ["trace", "report", str(tmp_path / "x.jsonl"), "--interval", "1"]
+        ) == 2
+        assert "--interval requires --follow" in capsys.readouterr().err
+
+    def test_follow_completed_trace_matches_posthoc(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.jsonl"
+        assert main(
+            ["campaign", "--faults", "2", "--shard-faults", "1",
+             "--wss-gib", "4", "--trace", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "report", str(trace)]) == 0
+        posthoc = capsys.readouterr().out
+        # Following an already-finished trace exits immediately with the
+        # exact same report on stdout.
+        assert main(
+            ["trace", "report", str(trace), "--follow", "--interval", "0"]
+        ) == 0
+        followed = capsys.readouterr()
+        assert followed.out == posthoc
+        assert "[follow]" in followed.err
+
+    def test_trace_report_directory_mode(self, capsys, tmp_path):
+        for name in ("a", "b"):
+            assert main(
+                ["campaign", "--faults", "1", "--wss-gib", "4",
+                 "--trace", str(tmp_path / f"{name}.trace.jsonl")]
+            ) == 0
+        capsys.readouterr()
+        assert main(["trace", "report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== a.trace.jsonl ==" in out
+        assert "== b.trace.jsonl ==" in out
+
+    def test_trace_report_empty_directory(self, capsys, tmp_path):
+        assert main(["trace", "report", str(tmp_path)]) == 2
+        assert "no trace files" in capsys.readouterr().err
 
     def test_trace_report_empty_file(self, capsys, tmp_path):
         path = tmp_path / "empty.trace.jsonl"
