@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Performance regression gate for the simulation hot path (used by CI).
+
+Runs the fig8 IOPS bench family once (single shard, fixed seeds, reduced
+scale) through :func:`repro.bench.run_family`, writes the machine-readable
+``BENCH_fig8_iops.json`` record, and compares the measured ``cycles_per_sec``
+against the committed baseline in ``benchmarks/baselines/``.  The run fails
+(exit 1) when throughput drops more than ``PERF_SMOKE_TOLERANCE`` (default
+30%) below the baseline — a cheap tripwire against quietly re-introducing a
+hot-path regression, not a precise benchmark.
+
+CI runners are noisy, so the gate is deliberately loose; refresh the
+baseline (see README "Performance") when a deliberate change moves the
+number.
+
+Environment:
+    PERF_SMOKE_FAMILY     bench family to run (default ``fig8_iops``)
+    PERF_SMOKE_OUT        where to write the fresh JSON record
+                          (default ``perf-smoke/BENCH_<family>.json``)
+    PERF_SMOKE_TOLERANCE  allowed fractional drop, e.g. ``0.30`` (default)
+    REPRO_BENCH_SCALE     forwarded to the bench harness (default 0.04)
+
+Exit code 0 on pass, 1 on regression.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/perf_smoke.py
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import run_family  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_TOLERANCE = 0.30
+
+
+def main() -> int:
+    family = os.environ.get("PERF_SMOKE_FAMILY", "fig8_iops")
+    tolerance = float(os.environ.get("PERF_SMOKE_TOLERANCE", str(DEFAULT_TOLERANCE)))
+    out = Path(
+        os.environ.get("PERF_SMOKE_OUT", f"perf-smoke/BENCH_{family}.json")
+    )
+
+    # Single shard + fixed hash seed: the gate measures the serial hot path,
+    # not the scheduler, and the workload stream must match the baseline's.
+    os.environ.setdefault("REPRO_BENCH_SCALE", "0.04")
+    os.environ["REPRO_BENCH_JOBS"] = "1"
+
+    baseline_path = REPO_ROOT / "benchmarks" / "baselines" / f"BENCH_{family}.json"
+    if not baseline_path.exists():
+        print(f"perf-smoke: no committed baseline at {baseline_path}", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+
+    print(f"perf-smoke: running {family} (scale={os.environ['REPRO_BENCH_SCALE']}, jobs=1)")
+    record = run_family(family, json_path=str(out))
+    print(f"perf-smoke: wrote {out}")
+    print(json.dumps(record, sort_keys=True))
+
+    measured = float(record["cycles_per_sec"])
+    reference = float(baseline["cycles_per_sec"])
+    floor = reference * (1.0 - tolerance)
+    verdict = "PASS" if measured >= floor else "FAIL"
+    print(
+        f"perf-smoke: {verdict}: measured {measured:.4f} cycles/s vs baseline "
+        f"{reference:.4f} (floor {floor:.4f}, tolerance {tolerance:.0%}, "
+        f"baseline rev {baseline.get('git_rev', '?')})"
+    )
+    if measured < floor:
+        print(
+            "perf-smoke: throughput regressed past the gate; if the slowdown "
+            "is intentional, refresh benchmarks/baselines/ (see README).",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,97 @@
+"""Run reproduction bench families outside pytest.
+
+The benches under ``benchmarks/`` are pytest modules, but their regeneration
+functions (``regenerate_fig8`` etc.) are plain callables: they run the
+campaigns and return the results without asserting any shape claims.  This
+module is the thin wrapper that lets ``repro bench run <family>`` (and the
+CI perf gate in ``scripts/perf_smoke.py``) produce perf numbers without a
+test harness: it imports the bench module, times the regeneration, and emits
+the one-line ``BENCH_<name>.json`` record documented in DESIGN.md.
+
+The benchmarks directory is located relative to the repository checkout
+(``REPRO_BENCH_DIR`` overrides); the wrapper is a repo tool, not part of the
+installed library surface.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+BENCH_FAMILIES: Dict[str, Tuple[str, str]] = {
+    "fig4_psu_discharge": ("bench_fig4_psu_discharge", "regenerate_fig4"),
+    "fig5_request_type": ("bench_fig5_request_type", "regenerate_fig5"),
+    "fig6_working_set_size": ("bench_fig6_working_set_size", "regenerate_fig6"),
+    "fig7_request_size": ("bench_fig7_request_size", "regenerate_fig7"),
+    "fig8_iops": ("bench_fig8_iops", "regenerate_fig8"),
+    "fig9_access_sequence": ("bench_fig9_access_sequence", "regenerate_fig9"),
+    "sec4a_post_ack_window": ("bench_sec4a_post_ack_window", "regenerate_sec4a"),
+    "sec4d_access_pattern": ("bench_sec4d_access_pattern", "regenerate_sec4d"),
+    "table1_devices": ("bench_table1_devices", "regenerate_table1"),
+    "ablation_cache": ("bench_ablation_cache", "regenerate_cache_ablation"),
+    "ablation_discharge": ("bench_ablation_discharge", "regenerate_discharge_ablation"),
+    "ablation_journal_interval": ("bench_ablation_journal_interval", "regenerate_journal_ablation"),
+}
+"""family name -> (bench module, regeneration callable)."""
+
+
+def find_bench_dir() -> Path:
+    """Locate the ``benchmarks/`` directory of the checkout.
+
+    Honours ``REPRO_BENCH_DIR``; otherwise walks up from this file (source
+    layout: ``src/repro/bench.py`` -> repo root) and then from the working
+    directory.
+    """
+    override = os.environ.get("REPRO_BENCH_DIR")
+    candidates = []
+    if override:
+        candidates.append(Path(override))
+    here = Path(__file__).resolve()
+    for base in (*here.parents, Path.cwd(), *Path.cwd().resolve().parents):
+        candidates.append(base / "benchmarks")
+    for candidate in candidates:
+        if (candidate / "_common.py").is_file():
+            return candidate
+    raise ConfigurationError(
+        "cannot locate the benchmarks/ directory; run from the repository "
+        "checkout or set REPRO_BENCH_DIR"
+    )
+
+
+def load_family(family: str) -> Callable:
+    """Import a bench module and return its regeneration callable."""
+    try:
+        module_name, func_name = BENCH_FAMILIES[family]
+    except KeyError:
+        known = ", ".join(sorted(BENCH_FAMILIES))
+        raise ConfigurationError(f"unknown bench family {family!r} (known: {known})")
+    bench_dir = str(find_bench_dir())
+    if bench_dir not in sys.path:
+        sys.path.insert(0, bench_dir)
+    module = importlib.import_module(module_name)
+    return getattr(module, func_name)
+
+
+def run_family(family: str, json_path: Optional[str] = None) -> Dict[str, object]:
+    """Run one bench family, returning (and optionally writing) its record.
+
+    The record is the ``BENCH_<name>.json`` schema from
+    ``benchmarks/_common.bench_json_record``; ``json_path`` writes it as a
+    one-line JSON file.
+    """
+    regenerate = load_family(family)
+    from _common import bench_json_record, count_fault_cycles, write_bench_json
+
+    start = time.perf_counter()
+    results = regenerate()
+    wall_s = time.perf_counter() - start
+    record = bench_json_record(family, count_fault_cycles(results), wall_s)
+    if json_path is not None:
+        write_bench_json(record, json_path)
+    return record

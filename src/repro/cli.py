@@ -246,6 +246,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject a power fault this many ms into the replay",
     )
 
+    bench = sub.add_parser(
+        "bench", help="run the reproduction benches and emit perf records"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_sub.add_parser(
+        "run",
+        help="run one bench family and print its BENCH_*.json perf record",
+    )
+    bench_run.add_argument("family", help="bench family (see `repro bench list`)")
+    bench_run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the record as a one-line JSON file",
+    )
+    bench_sub.add_parser("list", help="list the runnable bench families")
+
     return parser
 
 
@@ -597,6 +614,20 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro import bench as bench_mod
+
+    if args.bench_command == "list":
+        for family in sorted(bench_mod.BENCH_FAMILIES):
+            print(family)
+        return 0
+    record = bench_mod.run_family(args.family, json_path=args.json)
+    print(json_mod.dumps(record, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -641,6 +672,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_checkpoint_compact(args)
     if args.command == "replay":
         return _cmd_replay(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

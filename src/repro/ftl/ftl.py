@@ -248,15 +248,20 @@ class Ftl:
             raise AddressError("bad plan slice")
         if stop == start:
             return
-        for index in range(start, stop):
-            lpn, ppa = plan.assignments[index]
-            self.chip.commit_program_now(
-                ppa, tokens[index], None if volts is None else volts[index]
-            )
-            block = self.chip.geometry.block_of(ppa)
-            self.valid_counts[block] = self.valid_counts.get(block, 0) + 1
-            self._ppa_owner[ppa] = lpn
-            self.host_pages_written += 1
+        committed = plan.assignments[start:stop]
+        self.chip.program_pages(
+            [ppa for _, ppa in committed],
+            tokens[start:stop],
+            None if volts is None else volts[start:stop],
+        )
+        block_of = self.chip.geometry.block_of
+        valid_counts = self.valid_counts
+        owner = self._ppa_owner
+        for lpn, ppa in committed:
+            block = block_of(ppa)
+            valid_counts[block] = valid_counts.get(block, 0) + 1
+            owner[ppa] = lpn
+        self.host_pages_written += len(committed)
         self._publish_mapping(plan, start, stop)
 
     def _publish_mapping(self, plan: WritePlan, start: int, stop: int) -> None:
@@ -401,11 +406,12 @@ class Ftl:
         entries = sum(max(1, update.page_count) for update in batch)
         pages = -(-entries // self.config.journal_entries_per_page)
         ppas = self._allocate_run(pages, STREAM_META)
+        self.chip.program_pages(ppas, [TOKEN_JOURNAL] * len(ppas))
+        block_of = self.chip.geometry.block_of
         for ppa in ppas:
-            self.chip.commit_program_now(ppa, TOKEN_JOURNAL)
-            block = self.chip.geometry.block_of(ppa)
+            block = block_of(ppa)
             self.valid_counts[block] = self.valid_counts.get(block, 0) + 1
-            self.journal_pages_written += 1
+        self.journal_pages_written += len(ppas)
         write_cost = pages * self.chip.timing.page_write_us(
             self.chip.cell, self.chip.geometry.page_size
         )

@@ -17,9 +17,21 @@ earlier pages matters to the failure statistics.
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 from typing import List
 
 from repro.errors import ConfigurationError
+
+
+@lru_cache(maxsize=None)
+def _page_roles(bits: int) -> List[str]:
+    return ["lower", "upper", "extra"][:bits]
+
+
+@lru_cache(maxsize=None)
+def _earlier_siblings(bits: int, page_in_block: int) -> List[int]:
+    first = (page_in_block // bits) * bits
+    return list(range(first, page_in_block))
 
 
 class CellKind(enum.Enum):
@@ -36,8 +48,12 @@ class CellKind(enum.Enum):
 
     @property
     def page_roles(self) -> List[str]:
-        """Human names of the pages on one wordline, program order first."""
-        return ["lower", "upper", "extra"][: self.value]
+        """Human names of the pages on one wordline, program order first.
+
+        The list is memoized per kind (this sits in the program loop) —
+        treat it as read-only.
+        """
+        return _page_roles(self.value)
 
     def wordline_of(self, page_in_block: int) -> int:
         """Wordline index owning ``page_in_block``."""
@@ -62,11 +78,12 @@ class CellKind(enum.Enum):
         [9, 10]
         >>> CellKind.SLC.earlier_siblings(5)
         []
+
+        Memoized per ``(kind, page index)`` — treat the list as read-only.
         """
         if page_in_block < 0:
             raise ConfigurationError("page index must be non-negative")
-        first = (page_in_block // self.value) * self.value
-        return list(range(first, page_in_block))
+        return _earlier_siblings(self.value, page_in_block)
 
     def is_vulnerable_program(self, page_in_block: int) -> bool:
         """True when programming this page endangers earlier sibling pages."""

@@ -1,17 +1,23 @@
 """Flash array state machine with interruptible operations.
 
-The chip tracks per-page state sparsely (a dict keyed by dense PPA; absent
-means erased) and exposes two API layers:
+The chip tracks per-page state in a :mod:`~repro.nand.pagestore` — flat
+per-block columns by default (``REPRO_PAGESTORE=legacy`` selects the old
+object-per-page layout for equivalence testing) — and exposes two API
+layers:
 
 **Event API** (``begin_program`` / ``begin_erase``): each operation occupies
 its die for the device-accurate latency and fires a completion callback.
 Used by unit tests, examples, and the FTL's journal/GC machinery.
 
-**Immediate API** (``commit_program_now`` / ``apply_interruption``): the
-write-cache flusher batches page programs for speed and calls these
-primitives itself, telling the chip which pages committed before a power
-fault and which were caught mid-ISPP.  Both layers share the same corruption
-physics.
+**Immediate API** (``commit_program_now`` / ``program_pages`` /
+``apply_interruption``): the write-cache flusher batches page programs for
+speed and calls these primitives itself, telling the chip which pages
+committed before a power fault and which were caught mid-ISPP.  Both layers
+share the same corruption physics.
+
+Every random draw lives here, in fixed per-page order, regardless of which
+store backs the page state — that is what keeps campaign results
+bit-identical across storage representations.
 
 Supply awareness: the chip reads its rail through ``voltage_source`` (wired
 to the PSU by the SSD device).  Programs that commit on a sagging rail store
@@ -24,13 +30,20 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import AddressError, DeviceUnavailableError, ProtocolError
 from repro.nand.cell import CellKind
 from repro.nand.corruption import CorruptionModel
 from repro.nand.ecc import EccScheme
 from repro.nand.geometry import NandGeometry
+from repro.nand.pagestore import (
+    STATE_CORRUPT,
+    STATE_ERASED,
+    STATE_VALID,
+    PageStoreBase,
+    select_store,
+)
 from repro.nand.timing import NandTiming
 from repro.sim.kernel import Event, Kernel
 from repro.sim.resources import Resource
@@ -44,8 +57,19 @@ class PageState(enum.Enum):
     CORRUPT = "corrupt"
 
 
+_STATE_ENUM = {
+    STATE_ERASED: PageState.ERASED,
+    STATE_VALID: PageState.VALID,
+    STATE_CORRUPT: PageState.CORRUPT,
+}
+
+
 class PageRecord:
-    """Compact per-page storage record."""
+    """Detached per-page snapshot (the seed's storage record, now a value).
+
+    Live page state is viewed through :class:`PageRecordView`; this class
+    remains as the snapshot type returned by ``chip.pages.pop``.
+    """
 
     __slots__ = ("state", "token", "raw_error_bits", "quality")
 
@@ -66,6 +90,124 @@ class PageRecord:
             f"<PageRecord {self.state.value} token={self.token}"
             f" err={self.raw_error_bits} q={self.quality:.2f}>"
         )
+
+
+class PageRecordView:
+    """Live view of one written page, backed by the store's columns.
+
+    Attribute reads and writes go straight through to the store, so tests
+    and forensics tooling can keep poking ``chip.pages[ppa].raw_error_bits``
+    exactly as they did when pages were dict-of-object.
+    """
+
+    __slots__ = ("_store", "_ppa")
+
+    def __init__(self, store: PageStoreBase, ppa: int) -> None:
+        self._store = store
+        self._ppa = ppa
+
+    @property
+    def state(self) -> PageState:
+        return _STATE_ENUM[self._store.state_of(self._ppa)]
+
+    @property
+    def token(self) -> Optional[int]:
+        entry = self._store.entry(self._ppa)
+        if entry is None or entry[0] != STATE_VALID:
+            return None
+        return entry[1]
+
+    @property
+    def raw_error_bits(self) -> int:
+        entry = self._store.entry(self._ppa)
+        return 0 if entry is None else entry[2]
+
+    @raw_error_bits.setter
+    def raw_error_bits(self, value: int) -> None:
+        self._store.set_error_bits(self._ppa, value)
+
+    @property
+    def quality(self) -> float:
+        entry = self._store.entry(self._ppa)
+        return 1.0 if entry is None else entry[3]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PageRecordView ppa={self._ppa} {self.state.value}"
+            f" token={self.token} err={self.raw_error_bits}>"
+        )
+
+
+class PageTable:
+    """Dict-like facade over the page store (``chip.pages``).
+
+    Mirrors the seed's ``Dict[int, PageRecord]`` surface — absent means
+    erased — for tests, examples, and forensics tooling.  Iteration order is
+    ascending PPA.  Not a hot-path interface: the chip itself talks to the
+    store's primitives directly.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: PageStoreBase) -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return self._store.written_count()
+
+    def __contains__(self, ppa: int) -> bool:
+        return self._store.state_of(ppa) != STATE_ERASED
+
+    def __getitem__(self, ppa: int) -> PageRecordView:
+        if self._store.state_of(ppa) == STATE_ERASED:
+            raise KeyError(ppa)
+        return PageRecordView(self._store, ppa)
+
+    def get(self, ppa: int, default=None):
+        if self._store.state_of(ppa) == STATE_ERASED:
+            return default
+        return PageRecordView(self._store, ppa)
+
+    def __setitem__(self, ppa: int, record: PageRecord) -> None:
+        if record.state is PageState.VALID:
+            self._store.program(
+                ppa, record.token or 0, record.raw_error_bits, record.quality
+            )
+        elif record.state is PageState.CORRUPT:
+            self._store.corrupt(ppa)
+        else:
+            self._store.discard(ppa)
+
+    def pop(self, ppa: int, *default) -> Optional[PageRecord]:
+        entry = self._store.entry(ppa)
+        if entry is None:
+            if default:
+                return default[0]
+            raise KeyError(ppa)
+        self._store.discard(ppa)
+        state, token, err, quality = entry
+        return PageRecord(
+            _STATE_ENUM[state],
+            token if state == STATE_VALID else None,
+            err,
+            quality,
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        for ppa, *_ in self._store.iter_entries():
+            yield ppa
+
+    keys = __iter__
+
+    def values(self) -> Iterator[PageRecordView]:
+        store = self._store
+        for ppa, *_ in store.iter_entries():
+            yield PageRecordView(store, ppa)
+
+    def items(self) -> Iterator[Tuple[int, PageRecordView]]:
+        store = self._store
+        for ppa, *_ in store.iter_entries():
+            yield ppa, PageRecordView(store, ppa)
 
 
 @dataclass
@@ -164,7 +306,8 @@ class FlashChip:
         self.rng = rng if rng is not None else Random(0)
         self.voltage_source = voltage_source if voltage_source is not None else (lambda: 5.0)
         self.powered = True
-        self.pages: Dict[int, PageRecord] = {}
+        self.store: PageStoreBase = select_store(geometry)
+        self.pages = PageTable(self.store)
         self.active_programs: List[ProgramOp] = []
         self.active_erases: List[EraseOp] = []
         self._die_resources: Dict[int, Resource] = {}
@@ -221,8 +364,7 @@ class FlashChip:
         """
         self._check_powered()
         self._check_ppa(ppa)
-        record = self.pages.get(ppa)
-        if record is not None and record.state is PageState.VALID:
+        if self.store.state_of(ppa) == STATE_VALID:
             raise ProtocolError(f"program of non-erased page {ppa} (no in-place update)")
         if volts is None:
             volts = self.voltage_source()
@@ -234,8 +376,57 @@ class FlashChip:
             raw_bits = max(0, round(self.rng.gauss(mean, mean**0.5)))
         else:
             raw_bits = self.corruption.sample_error_bits(self.rng, self.cell, quality)
-        self.pages[ppa] = PageRecord(PageState.VALID, token, raw_bits, quality)
+        self.store.program(ppa, token, raw_bits, quality)
         self.programs_committed += 1
+
+    def program_pages(
+        self,
+        ppas: Sequence[int],
+        tokens: Sequence[int],
+        volts: Union[None, float, Sequence[Optional[float]]] = None,
+    ) -> None:
+        """Bulk page commit: same physics, checks, and RNG order as calling
+        :meth:`commit_program_now` once per page, with the per-page attribute
+        chases hoisted out of the loop.
+
+        ``volts`` is ``None`` (sample the live rail per page), one voltage
+        for the whole batch, or a per-page sequence (entries may be ``None``).
+        """
+        self._check_powered()
+        store = self.store
+        state_of = store.state_of
+        program = store.program
+        corruption = self.corruption
+        program_quality = corruption.program_quality
+        gauss = self.rng.gauss
+        total_pages = self.geometry.total_pages
+        mean = corruption.base_error_bits * self.cell.raw_bit_error_scale
+        sigma = mean**0.5
+        if volts is None or isinstance(volts, (int, float)):
+            volts_seq: Sequence[Optional[float]] = [volts] * len(ppas)
+        else:
+            volts_seq = volts
+        committed = 0
+        try:
+            for ppa, token, page_volts in zip(ppas, tokens, volts_seq):
+                if not 0 <= ppa < total_pages:
+                    raise AddressError(f"PPA {ppa} outside array of {total_pages}")
+                if state_of(ppa) == STATE_VALID:
+                    raise ProtocolError(
+                        f"program of non-erased page {ppa} (no in-place update)"
+                    )
+                if page_volts is None:
+                    page_volts = self.voltage_source()
+                quality = program_quality(page_volts)
+                if quality >= 1.0:
+                    raw_bits = round(gauss(mean, sigma))
+                    program(ppa, token, raw_bits if raw_bits > 0 else 0, quality)
+                else:
+                    raw_bits = corruption.sample_error_bits(self.rng, self.cell, quality)
+                    program(ppa, token, raw_bits, quality)
+                committed += 1
+        finally:
+            self.programs_committed += committed
 
     def apply_interruption(self, ppa: int, progress: float, token: int) -> PowerLossReport:
         """Resolve a program caught mid-ISPP by a power collapse.
@@ -246,24 +437,39 @@ class FlashChip:
         self._check_ppa(ppa)
         report = PowerLossReport(interrupted_programs=[ppa])
         if self.corruption.interrupted_program_corrupts(self.rng, progress):
-            self.pages[ppa] = PageRecord(PageState.CORRUPT, None)
+            self.store.corrupt(ppa)
             report.corrupted_pages.append(ppa)
         elif progress >= self.corruption.program_survival_progress:
             # The final verify pulses were confirmatory; page committed, but
             # at whatever quality the sagging rail allowed.
             quality = self.corruption.program_quality(self.voltage_source())
             raw_bits = self.corruption.sample_error_bits(self.rng, self.cell, quality)
-            self.pages[ppa] = PageRecord(PageState.VALID, token, raw_bits, quality)
+            self.store.program(ppa, token, raw_bits, quality)
             self.programs_committed += 1
         # else: the page retains a mostly-erased level; treated as still erased.
         page_in_block = self.geometry.page_in_block(ppa)
         block_base = ppa - page_in_block
         for sibling in self.corruption.collateral_pages(self.rng, self.cell, page_in_block):
             sibling_ppa = block_base + sibling
-            sibling_record = self.pages.get(sibling_ppa)
-            if sibling_record is not None and sibling_record.state is PageState.VALID:
-                self.pages[sibling_ppa] = PageRecord(PageState.CORRUPT, None)
+            if self.store.corrupt_if_valid(sibling_ppa):
                 report.collateral_pages.append(sibling_ppa)
+        return report
+
+    def apply_interruption_batch(
+        self, interruptions: Sequence[Tuple[int, float, int]]
+    ) -> PowerLossReport:
+        """Resolve several torn programs, merging their damage reports.
+
+        ``interruptions`` is ``(ppa, progress, token)`` per page; pages are
+        resolved in input order (RNG draw order is per page, as the
+        single-page calls would be).
+        """
+        report = PowerLossReport()
+        for ppa, progress, token in interruptions:
+            sub = self.apply_interruption(ppa, progress, token)
+            report.interrupted_programs.extend(sub.interrupted_programs)
+            report.corrupted_pages.extend(sub.corrupted_pages)
+            report.collateral_pages.extend(sub.collateral_pages)
         return report
 
     # -- event API -------------------------------------------------------------------
@@ -347,8 +553,7 @@ class FlashChip:
         self._check_powered()
         if not 0 <= block < self.geometry.blocks:
             raise AddressError(f"block {block} outside array")
-        for ppa in self.geometry.iter_block_pages(block):
-            self.pages.pop(ppa, None)
+        self.store.erase_block(block)
         self.erases_committed += 1
 
     # -- reads -----------------------------------------------------------------------
@@ -359,16 +564,17 @@ class FlashChip:
         self._check_ppa(ppa)
         self.reads_served += 1
         self._apply_read_disturb(ppa)
-        record = self.pages.get(ppa)
-        if record is None:
+        entry = self.store.entry(ppa)
+        if entry is None:
             return ReadResult(ppa, PageState.ERASED, None, correctable=True)
-        if record.state is PageState.CORRUPT:
+        state, token, raw_error_bits, _ = entry
+        if state == STATE_CORRUPT:
             self.uncorrectable_reads += 1
             return ReadResult(ppa, PageState.CORRUPT, None, correctable=False)
-        correctable = self.ecc.can_correct(record.raw_error_bits)
+        correctable = self.ecc.can_correct(raw_error_bits)
         if not correctable:
             # Firmware escalation: re-read with re-centred references.
-            if self.ecc.can_correct_with_retry(record.raw_error_bits):
+            if self.ecc.can_correct_with_retry(raw_error_bits):
                 correctable = True
                 self.read_retries += 1
         if not correctable:
@@ -376,9 +582,9 @@ class FlashChip:
         return ReadResult(
             ppa,
             PageState.VALID,
-            record.token if correctable else None,
+            token if correctable else None,
             correctable=correctable,
-            raw_error_bits=record.raw_error_bits,
+            raw_error_bits=raw_error_bits,
         )
 
     def _apply_read_disturb(self, ppa: int) -> None:
@@ -396,11 +602,8 @@ class FlashChip:
             return
         base = self.geometry.first_page_of_block(block)
         victim = base + self.rng.randrange(self.geometry.pages_per_block)
-        record = self.pages.get(victim)
-        if record is not None and record.state is PageState.VALID:
-            record.raw_error_bits += round(
-                self.READ_DISTURB_BITS * self.cell.raw_bit_error_scale
-            )
+        bits = round(self.READ_DISTURB_BITS * self.cell.raw_bit_error_scale)
+        if self.store.add_error_bits_if_valid(victim, bits):
             self.disturb_events += 1
 
     def age_retention(self, hours: float) -> int:
@@ -415,21 +618,8 @@ class FlashChip:
         """
         if hours < 0:
             raise ProtocolError("cannot age backwards")
-        newly_uncorrectable = 0
-        for record in self.pages.values():
-            if record.state is not PageState.VALID:
-                continue
-            fragility = 1.0 + 9.0 * (1.0 - record.quality)  # weak pages decay 10x
-            rate = (
-                self.RETENTION_BITS_PER_HOUR_SLC
-                * self.cell.raw_bit_error_scale
-                * fragility
-            )
-            before_ok = self.ecc.can_correct(record.raw_error_bits)
-            record.raw_error_bits += max(0, round(rate * hours))
-            if before_ok and not self.ecc.can_correct(record.raw_error_bits):
-                newly_uncorrectable += 1
-        return newly_uncorrectable
+        bits_per_hour = self.RETENTION_BITS_PER_HOUR_SLC * self.cell.raw_bit_error_scale
+        return self.store.age_retention(bits_per_hour, hours, self.ecc.can_correct)
 
     def block_read_count(self, block: int) -> int:
         """Lifetime reads of one block (read-disturb bookkeeping)."""
@@ -448,6 +638,7 @@ class FlashChip:
         for op in list(self.active_programs):
             if op.event is not None:
                 op.event.cancel()
+                op.event = None
             sub = self.apply_interruption(op.ppa, op.progress_at(now), op.token)
             report.interrupted_programs.extend(sub.interrupted_programs)
             report.corrupted_pages.extend(sub.corrupted_pages)
@@ -456,14 +647,11 @@ class FlashChip:
         for op in list(self.active_erases):
             if op.event is not None:
                 op.event.cancel()
+                op.event = None
             report.interrupted_erase_blocks.append(op.block)
             # A half-erased block: every page that still held data is now
             # electrically indeterminate.
-            for ppa in self.geometry.iter_block_pages(op.block):
-                record = self.pages.get(ppa)
-                if record is not None and record.state is PageState.VALID:
-                    self.pages[ppa] = PageRecord(PageState.CORRUPT, None)
-                    report.corrupted_pages.append(ppa)
+            report.corrupted_pages.extend(self.store.corrupt_valid_in_block(op.block))
         self.active_erases.clear()
         for resource in self._die_resources.values():
             resource.reset()
@@ -478,13 +666,17 @@ class FlashChip:
 
     def written_page_count(self) -> int:
         """Number of pages currently holding (valid or corrupt) charge."""
-        return len(self.pages)
+        return self.store.written_count()
 
     def valid_page_count(self) -> int:
         """Number of pages in VALID state."""
-        return sum(1 for r in self.pages.values() if r.state is PageState.VALID)
+        return self.store.valid_count()
 
-    def page_record(self, ppa: int) -> Optional[PageRecord]:
+    def corrupt_page_count(self) -> int:
+        """Number of pages in CORRUPT state."""
+        return self.store.corrupt_count()
+
+    def page_record(self, ppa: int) -> Optional[PageRecordView]:
         """Raw record access for tests and forensics tooling."""
         self._check_ppa(ppa)
         return self.pages.get(ppa)

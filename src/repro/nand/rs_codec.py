@@ -136,6 +136,17 @@ class RSCodec:
         self.nsym = nsym
         self.max_data = _FIELD - 1 - nsym
         self._gen = _generator_poly(nsym)
+        # CRC-style byte-at-a-time division table for the clean-codeword
+        # check: entry f is the nsym-byte remainder contribution of feedback
+        # byte f, packed as one big-endian integer (index 0 = high byte).
+        self._check_table = [
+            int.from_bytes(
+                bytes(gf_mul(self._gen[i + 1], factor) for i in range(nsym)), "big"
+            )
+            for factor in range(_FIELD)
+        ]
+        self._check_shift = 8 * (nsym - 1)
+        self._check_mask = (1 << (8 * nsym)) - 1
 
     @property
     def correctable_symbols(self) -> int:
@@ -170,6 +181,26 @@ class RSCodec:
 
     def _syndromes(self, codeword: bytes) -> List[int]:
         return [poly_eval(list(codeword), gf_pow(2, i)) for i in range(self.nsym)]
+
+    def is_codeword(self, codeword: bytes) -> bool:
+        """Fast syndrome-is-zero check.
+
+        All ``nsym`` syndromes vanish exactly when the received word is a
+        multiple of the generator polynomial, so instead of ``nsym`` full
+        polynomial evaluations this runs one CRC-style long division — a
+        table lookup and a wide-integer shift/xor per byte.  (The LFSR
+        computes ``received * x^nsym mod g``; ``x`` is invertible mod ``g``
+        since ``g(0) != 0``, so the remainder is zero iff the word itself
+        divides cleanly.)  This is the overwhelmingly common clean-page case
+        on the read path.
+        """
+        remainder = 0
+        shift = self._check_shift
+        mask = self._check_mask
+        table = self._check_table
+        for byte in codeword:
+            remainder = ((remainder << 8) & mask) ^ table[byte ^ (remainder >> shift)]
+        return remainder == 0
 
     @staticmethod
     def _eval_low(poly_low: List[int], x: int) -> int:
@@ -233,10 +264,13 @@ class RSCodec:
         """Correct up to t byte errors; raises on uncorrectable damage."""
         if len(codeword) <= self.nsym:
             raise ConfigurationError("codeword shorter than parity")
+        if self.is_codeword(codeword):
+            # Clean page: skip syndrome computation entirely.
+            return DecodeResult(data=bytes(codeword[: -self.nsym]), corrected_symbols=0)
         received = list(codeword)
         n = len(received)
         syndromes = self._syndromes(codeword)
-        if max(syndromes) == 0:
+        if max(syndromes) == 0:  # pragma: no cover - subsumed by is_codeword
             return DecodeResult(data=bytes(received[: -self.nsym]), corrected_symbols=0)
         lam = self._berlekamp_massey(syndromes)
         errors = len(lam) - 1

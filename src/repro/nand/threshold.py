@@ -27,14 +27,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.nand.cell import CellKind
 
 
+@lru_cache(maxsize=4096)
 def _gaussian_tail(mean: float, sigma: float, boundary: float, upper: bool) -> float:
-    """P(X > boundary) (upper) or P(X < boundary) of N(mean, sigma^2)."""
+    """P(X > boundary) (upper) or P(X < boundary) of N(mean, sigma^2).
+
+    Memoized: reads of pages sharing a (cell kind, quality, wear) bucket ask
+    for the same tails over and over, so each is computed once per bucket
+    rather than once per read.  Keys are the exact float inputs — the cache
+    can never go stale, only grow (bounded by the LRU size).
+    """
     if sigma <= 0:
         raise ConfigurationError("sigma must be positive")
     z = (boundary - mean) / (sigma * math.sqrt(2.0))
@@ -68,6 +76,48 @@ _SAG_SIGMA_SCALE = 2.2
 CELLS_PER_PAGE = 4096 * 8
 """Bit cells read per 4 KiB logical page (one bit per cell per page)."""
 
+_WEAR_SIGMA_PER_BUCKET = 0.02
+"""Fractional Vth spread widening per wear bucket (oxide damage from P/E
+cycling broadens every level's placement; one bucket ≈ 1k erases)."""
+
+
+@lru_cache(maxsize=None)
+def _levels_for(
+    cell: CellKind, quality: float, wear_sigma_scale: float = 1.0
+) -> Tuple[LevelState, ...]:
+    """Memoized level table for one (cell kind, quality[, wear]) bucket.
+
+    Keys are exact inputs, so entries are immutable and never invalidated —
+    a different wear bucket or quality is simply a different key.
+    """
+    count = 2**cell.bits_per_cell
+    sigma = _NOMINAL_SIGMA[cell] * wear_sigma_scale
+    levels = [_ERASED]
+    low, high = _PROGRAM_WINDOW
+    sag = 1.0 - quality
+    for index in range(count - 1):
+        if count == 2:
+            mean = (low + high) / 2
+        else:
+            mean = low + (high - low) * index / (count - 2)
+        level = LevelState(mean, sigma)
+        # Undercharge: higher levels lose proportionally more charge
+        # (they needed more ISPP pulses, which the sag cut short).
+        weight = (index + 1) / (count - 1)
+        level = level.shifted(
+            _SAG_MEAN_SHIFT_V * sag * weight,
+            1.0 + (_SAG_SIGMA_SCALE - 1.0) * sag,
+        )
+        levels.append(level)
+    return tuple(levels)
+
+
+@lru_cache(maxsize=None)
+def _nominal_references(cell: CellKind) -> Tuple[float, ...]:
+    """Factory read references for a cell kind (midpoints of nominal levels)."""
+    nominal = _levels_for(cell, 1.0)
+    return tuple((a.mean_v + b.mean_v) / 2.0 for a, b in zip(nominal, nominal[1:]))
+
 
 class CellLevelModel:
     """Vth distributions of one wordline's cells.
@@ -87,30 +137,30 @@ class CellLevelModel:
             raise ConfigurationError("quality must be in [0, 1]")
         self.cell = cell
         self.quality = quality
-        self.levels = self._build_levels(cell, quality)
+        self.levels = list(_levels_for(cell, quality))
 
     @staticmethod
     def _build_levels(cell: CellKind, quality: float) -> List[LevelState]:
-        count = 2**cell.bits_per_cell
-        sigma = _NOMINAL_SIGMA[cell]
-        levels = [_ERASED]
-        low, high = _PROGRAM_WINDOW
-        sag = 1.0 - quality
-        for index in range(count - 1):
-            if count == 2:
-                mean = (low + high) / 2
-            else:
-                mean = low + (high - low) * index / (count - 2)
-            level = LevelState(mean, sigma)
-            # Undercharge: higher levels lose proportionally more charge
-            # (they needed more ISPP pulses, which the sag cut short).
-            weight = (index + 1) / (count - 1)
-            level = level.shifted(
-                _SAG_MEAN_SHIFT_V * sag * weight,
-                1.0 + (_SAG_SIGMA_SCALE - 1.0) * sag,
-            )
-            levels.append(level)
-        return levels
+        """Level table for (cell, quality); memoized in :func:`_levels_for`."""
+        return list(_levels_for(cell, quality))
+
+    @classmethod
+    def for_bucket(
+        cls, cell: CellKind, quality: float = 1.0, wear_bucket: int = 0
+    ) -> "CellLevelModel":
+        """Shared model instance for a (cell kind, quality, wear bucket) key.
+
+        ``wear_bucket`` quantises P/E-cycle wear (callers typically pass
+        ``erase_count // 1000``); each bucket widens every level's sigma by
+        :data:`_WEAR_SIGMA_PER_BUCKET`.  Returned models are shared and must
+        be treated as immutable — the degradation operators already return
+        fresh clones.  Cache entries are keyed on the exact inputs, so there
+        is no invalidation: a page that wears into the next bucket simply
+        resolves to a different key.
+        """
+        if wear_bucket < 0:
+            raise ConfigurationError("wear bucket must be non-negative")
+        return _model_for_bucket(cell, quality, wear_bucket)
 
     # -- degradation operators ------------------------------------------------------
 
@@ -144,10 +194,7 @@ class CellLevelModel:
 
     def nominal_references(self) -> List[float]:
         """Factory read references: midpoints of the *nominal* levels."""
-        nominal = self._build_levels(self.cell, quality=1.0)
-        return [
-            (a.mean_v + b.mean_v) / 2.0 for a, b in zip(nominal, nominal[1:])
-        ]
+        return list(_nominal_references(self.cell))
 
     def optimal_references(self) -> List[float]:
         """Read-retry references: sigma-weighted crossings of the *actual*
@@ -185,4 +232,17 @@ class CellLevelModel:
     def expected_page_error_bits(self, references: Optional[Sequence[float]] = None) -> float:
         """Expected raw bit errors in one 4 KiB page read."""
         return self.misread_probability(references) * CELLS_PER_PAGE
+
+
+@lru_cache(maxsize=None)
+def _model_for_bucket(
+    cell: CellKind, quality: float, wear_bucket: int
+) -> CellLevelModel:
+    model = CellLevelModel.__new__(CellLevelModel)
+    model.cell = cell
+    model.quality = quality
+    model.levels = list(
+        _levels_for(cell, quality, 1.0 + _WEAR_SIGMA_PER_BUCKET * wear_bucket)
+    )
+    return model
 

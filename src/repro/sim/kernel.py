@@ -4,6 +4,20 @@ The kernel keeps a binary heap of ``(time, sequence, Event)`` entries.  The
 monotonically increasing sequence number makes ordering of same-time events
 deterministic (FIFO in scheduling order), which matters for reproducibility
 of fault-injection campaigns.
+
+Cancellation is lazy (a cancelled event stays in the heap and is skipped when
+it surfaces), but the kernel tracks how many cancelled events the heap is
+carrying and compacts it once they outnumber the pending ones — a campaign
+that cancels timeouts at every completed IO would otherwise drag a heap of
+corpses through every sift.  Cancelled events that leave the heap are pooled
+on a freelist and reused by :meth:`Kernel.schedule`.
+
+Handle-retention contract: an :class:`Event` handle is only meaningful until
+it fires or until you cancel it.  After calling :meth:`Event.cancel`, drop
+the reference — the kernel recycles cancelled ``Event`` objects, so a stale
+handle may later alias a completely different scheduled callback.  (Fired
+events are never recycled, so cancelling an already-fired handle — as the
+PSU does when clearing its pending list — remains a safe no-op.)
 """
 
 from __future__ import annotations
@@ -13,27 +27,46 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 
+_COMPACT_MIN_HEAP = 64
+"""Never bother compacting heaps smaller than this (re-sifting is cheap)."""
+
+_FREELIST_MAX = 4096
+"""Upper bound on pooled Event objects (churn beyond this just allocates)."""
+
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Kernel.schedule`.
 
     Events may be cancelled before they fire; a cancelled event stays in the
-    heap but is skipped by the loop (lazy deletion).
+    heap but is skipped by the loop (lazy deletion).  See the module
+    docstring for the handle-retention contract.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "fired", "_kernel")
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple) -> None:
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kernel: "Optional[Kernel]" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent; no-op if already fired."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._kernel is not None:
+            self._kernel._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -70,6 +103,8 @@ class Kernel:
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled_pending = 0
+        self._freelist: List[Event] = []
 
     # -- time ---------------------------------------------------------------
 
@@ -92,10 +127,54 @@ class Kernel:
             raise SimulationError(
                 f"cannot schedule at t={time} (now is t={self._now})"
             )
-        event = Event(int(time), self._seq, callback, args)
+        if self._freelist:
+            event = self._freelist.pop()
+            event.time = int(time)
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+            event.fired = False
+        else:
+            event = Event(int(time), self._seq, callback, args, self)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    # -- cancellation bookkeeping ---------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """A pending in-heap event was just cancelled; compact when stale
+        entries outnumber live ones."""
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) > _COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap with only pending events (drops cancelled ones)."""
+        pending = []
+        for event in self._heap:
+            if event.cancelled:
+                self._recycle(event)
+            else:
+                pending.append(event)
+        heapq.heapify(pending)
+        self._heap = pending
+        self._cancelled_pending = 0
+
+    def _recycle(self, event: Event) -> None:
+        """Pool a cancelled event that left the heap for reuse by schedule().
+
+        Only cancelled events are ever pooled: fired handles may still be
+        held (and re-cancelled) by callers, so they are never reused.
+        """
+        event.callback = None  # type: ignore[assignment]
+        event.args = ()
+        if len(self._freelist) < _FREELIST_MAX:
+            self._freelist.append(event)
 
     # -- execution -----------------------------------------------------------
 
@@ -104,6 +183,8 @@ class Kernel:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled_pending -= 1
+                self._recycle(event)
                 continue
             self._now = event.time
             event.fired = True
@@ -127,6 +208,8 @@ class Kernel:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_pending -= 1
+                    self._recycle(head)
                     continue
                 if until is not None and head.time > until:
                     break
@@ -153,13 +236,23 @@ class Kernel:
 
     def pending_count(self) -> int:
         """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled_pending
 
     def next_event_time(self) -> Optional[int]:
-        """Time of the next pending event, or None when idle."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
+        """Time of the next pending event, or None when idle.
+
+        Pops cancelled events off the heap top as a side effect, so the
+        common poll-then-run loop stays O(1) amortised instead of sorting
+        the whole heap per call.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if not head.cancelled:
+                return head.time
+            heapq.heappop(heap)
+            self._cancelled_pending -= 1
+            self._recycle(head)
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

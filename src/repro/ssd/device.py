@@ -461,15 +461,16 @@ class SsdDevice:
                     plan, run_tokens, 0, commit_hi - lo, volts
                 )
             # Pages whose pulse train had begun but not finished are torn.
+            torn: List[Tuple[int, float, int]] = []
             for index in range(max(lo, committed), min(hi, started)):
                 _, ppa = plan.assignments[index - lo]
                 progress_base = batch.commit_time(index) - batch.page_write_us
                 progress = (now - progress_base) / batch.page_write_us
                 progress = min(1.0, max(0.0, progress))
-                report = self.chip.apply_interruption(
-                    ppa, progress, run_tokens[index - lo]
-                )
-                damage.inflight_pages_torn += 1
+                torn.append((ppa, progress, run_tokens[index - lo]))
+            if torn:
+                report = self.chip.apply_interruption_batch(torn)
+                damage.inflight_pages_torn += len(torn)
                 damage.inflight_pages_corrupted += len(report.corrupted_pages)
                 damage.collateral_pages_corrupted += len(report.collateral_pages)
             # Later pages never reached the array; their data dies with DRAM.

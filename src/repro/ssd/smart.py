@@ -98,11 +98,7 @@ def collect_smart(device: "SsdDevice") -> SmartLog:
         SmartAttribute(
             PROGRAM_FAIL_COUNT,
             "Program_Fail_Cnt_Total",
-            sum(
-                1
-                for record in chip.pages.values()
-                if record.state.value == "corrupt"
-            ),
+            chip.corrupt_page_count(),
         ),
         SmartAttribute(ERASE_COUNT_AVG, "Average_Block_Erase_Ct", avg_erases),
         SmartAttribute(WEAR_SPREAD, "Erase_Count_Spread", ftl.wear.wear_spread()),

@@ -201,3 +201,76 @@ class TestKernelDeterminismProperty:
         k.run()
         assert stamps == sorted(stamps)
         assert k.now == max(delays)
+
+
+class TestHeapCompactionAndPooling:
+    """The O(1)-next-event machinery: lazy compaction and event pooling."""
+
+    def test_compaction_triggers_when_cancelled_majority(self):
+        k = Kernel()
+        events = [k.schedule(i + 1, lambda: None) for i in range(200)]
+        assert len(k._heap) == 200
+        for event in events[:150]:
+            event.cancel()
+        # Cancelled entries outnumber live ones -> heap must have compacted
+        # down to (close to) the live set instead of retaining all 200.
+        assert len(k._heap) < 200
+        assert k.pending_count() == 50
+        assert k._cancelled_pending * 2 <= max(len(k._heap), 1)
+
+    def test_pending_count_tracks_cancellations(self):
+        k = Kernel()
+        events = [k.schedule(i + 1, lambda: None) for i in range(10)]
+        assert k.pending_count() == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert k.pending_count() == 8
+        events[3].cancel()  # double cancel must not double count
+        assert k.pending_count() == 8
+        k.run()
+        assert k.pending_count() == 0
+
+    def test_cancelled_events_are_pooled_and_reused(self):
+        k = Kernel()
+        stale = k.schedule(5, lambda: None)
+        stale.cancel()
+        k.run()  # drains the cancelled entry into the freelist
+        assert k._freelist
+        fresh = k.schedule(1, lambda: None)
+        assert fresh is stale  # recycled object, per the handle-drop contract
+        assert not fresh.cancelled and not fresh.fired
+        fired = []
+        k.schedule(2, fired.append, (2,))
+        k.run()
+        assert fresh.fired and fired == [(2,)]
+
+    def test_fired_events_are_never_recycled(self):
+        k = Kernel()
+        done = k.schedule(1, lambda: None)
+        k.run()
+        assert done.fired
+        done.cancel()  # cancel-after-fire is a no-op...
+        assert not done.cancelled
+        replacement = k.schedule(2, lambda: None)
+        assert replacement is not done  # ...and the object is never pooled
+
+    def test_next_event_time_skips_cancelled_heads(self):
+        k = Kernel()
+        early = k.schedule(1, lambda: None)
+        k.schedule(10, lambda: None)
+        early.cancel()
+        assert k.next_event_time() == 10
+        assert k.pending_count() == 1
+
+    def test_compaction_preserves_fire_order(self):
+        k = Kernel()
+        fired = []
+        keepers = []
+        for i in range(300):
+            event = k.schedule(301 - i, fired.append, 301 - i)
+            if i % 3:
+                event.cancel()
+            else:
+                keepers.append(301 - i)
+        k.run()
+        assert fired == sorted(keepers)
