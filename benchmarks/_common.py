@@ -173,7 +173,6 @@ def run_campaign(
     result is identical for any job count; budgets at or below the shard
     size run as one shard seeded exactly like the legacy serial runner.
     """
-    jobs = bench_jobs() if jobs is None else max(1, jobs)
     plan = CampaignPlan(
         spec=spec,
         faults=faults,
@@ -182,6 +181,18 @@ def run_campaign(
         label=label or spec.describe(),
         shard_faults=BENCH_SHARD_FAULTS,
     )
+    return run_engine_plan(plan, jobs=jobs)
+
+
+def run_engine_plan(plan: CampaignPlan, jobs: Optional[int] = None) -> CampaignResult:
+    """Run any engine plan under the bench environment knobs.
+
+    Works for :class:`CampaignPlan` and its subclasses (the stress
+    harness's ``DirtyCyclePlan`` runs through here unchanged): checkpoint,
+    trace, retry, timeout, and distributed-worker env vars all apply, and
+    none of them affect result numbers.
+    """
+    jobs = bench_jobs() if jobs is None else max(1, jobs)
     checkpoint = _checkpoint_path(plan.label)
     trace = _trace_path(plan.label)
     if trace is not None:

@@ -1,0 +1,245 @@
+#!/usr/bin/env python
+"""End-to-end dirty-power-cycle smoke test (used by CI).
+
+Three legs:
+
+A. **Protection contrast, protected side** — 3 dirty cycles against the
+   supercap-backed ``ssd-enterprise-plp`` preset under a paced 4 KiB write
+   load: the SMART unsafe-shutdown counter must read exactly 3 and *zero*
+   acknowledged writes may be lost (power-loss protection destages the
+   write cache on the way down).
+B. **Protection contrast, unprotected side** — 3 dirty cycles against the
+   weak ``ssd-c`` preset under a closed-loop load: the same audit must
+   find a *nonzero* flying-write-ACK count (acked data that evaporated).
+C. **Determinism + crash safety** — the acceptance command
+   (``repro stress dirty-cycle --repeat 25 --seed 7``): a checkpointed
+   jobs=1 run is SIGTERMed mid-flight and resumed; its summary table must
+   be byte-identical to an uninterrupted jobs=4 run of the same plan.
+
+Per-shard command logs (leg C) and the engine trace are written to
+``DIRTY_CYCLE_SMOKE_ARTIFACT_DIR`` when set (CI uploads them as
+artifacts); each command log is replayed and schema-checked.
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/dirty_cycle_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ARTIFACT_DIR_ENV = "DIRTY_CYCLE_SMOKE_ARTIFACT_DIR"
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+
+ACCEPTANCE_ARGS = [
+    "stress", "dirty-cycle",
+    "--repeat", "25",
+    "--seed", "7",
+    "--wss-gib", "1",
+    "--qdepth", "16",
+    "--shard-cycles", "2",
+    "--recovery-fault-every", "5",
+]
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(args, env):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+
+
+def summary_table(stdout):
+    return [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.startswith("running ")
+    ]
+
+
+def summary_value(stdout, column):
+    """Pull one column's value out of the rendered summary table."""
+    lines = stdout.splitlines()
+    for index, line in enumerate(lines):
+        cells = [c.strip() for c in line.split("|")]
+        if column in cells:
+            values = [c.strip() for c in lines[index + 2].split("|")]
+            return values[cells.index(column)]
+    raise AssertionError(f"column {column!r} not found in output:\n{stdout}")
+
+
+def check_cmdlogs(directory):
+    """Replay every shard command log; returns an error string or None."""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    if src not in sys.path:  # tolerate being run without PYTHONPATH=src
+        sys.path.insert(0, src)
+    from repro.errors import CmdlogError
+    from repro.stress import replay_cmdlog
+
+    logs = sorted(Path(directory).glob("shard*.cmdlog.jsonl"))
+    if not logs:
+        return f"no command logs written under {directory}"
+    for log in logs:
+        try:
+            replayed = replay_cmdlog(log)
+        except CmdlogError as exc:
+            return f"{log.name}: replay failed: {exc}"
+        if not replayed.records:
+            return f"{log.name}: empty command log"
+        kinds = {r["kind"] for r in replayed.records}
+        if not {"sub", "cpl", "mark"} <= kinds:
+            return f"{log.name}: record kinds incomplete ({sorted(kinds)})"
+    print(f"cmdlog ok: {len(logs)} shard logs replayed")
+    return None
+
+
+def leg_protection_contrast(env):
+    """Legs A+B: PLP zero loss vs unprotected nonzero FWA, 3 cycles each."""
+    plp = run_cli(
+        ["stress", "dirty-cycle", "--repeat", "3", "--seed", "11",
+         "--device", "ssd-enterprise-plp", "--wss-gib", "1",
+         "--size-min-kib", "4", "--size-max-kib", "4",
+         "--iops", "2000", "--qdepth", "32"],
+        env,
+    )
+    if plp.returncode != 0:
+        print(f"FAIL: PLP leg exited {plp.returncode}\n{plp.stderr}")
+        return False
+    unsafe = summary_value(plp.stdout, "unsafe_shutdowns")
+    loss = summary_value(plp.stdout, "total_data_loss")
+    if unsafe != "3":
+        print(f"FAIL: PLP leg unsafe_shutdowns = {unsafe}, expected 3")
+        return False
+    if loss != "0":
+        print(f"FAIL: PLP leg lost acked writes (total_data_loss = {loss})")
+        return False
+    print("leg A ok: supercap device, 3 unsafe shutdowns, zero acked-write loss")
+
+    weak = run_cli(
+        ["stress", "dirty-cycle", "--repeat", "3", "--seed", "11",
+         "--device", "ssd-c", "--wss-gib", "1", "--qdepth", "32"],
+        env,
+    )
+    if weak.returncode != 0:
+        print(f"FAIL: unprotected leg exited {weak.returncode}\n{weak.stderr}")
+        return False
+    unsafe = summary_value(weak.stdout, "unsafe_shutdowns")
+    fwa = summary_value(weak.stdout, "fwa")
+    if unsafe != "3":
+        print(f"FAIL: unprotected leg unsafe_shutdowns = {unsafe}, expected 3")
+        return False
+    if int(fwa) <= 0:
+        print("FAIL: unprotected leg shows no flying-write-ACKs")
+        return False
+    print(f"leg B ok: unprotected device, {fwa} flying-write-ACKs detected")
+    return True
+
+
+def leg_interrupt_resume(env, artifact_dir):
+    """Leg C: SIGTERM + --resume vs uninterrupted jobs=4, byte-identical."""
+    checkpoint = artifact_dir / "ck.jsonl"
+    trace = artifact_dir / "dirty.trace.jsonl"
+    cmdlog_dir = artifact_dir / "cmdlogs"
+
+    slow_env = dict(env)
+    slow_env[FAULT_ENV] = "slow:*:*:0.8"  # widen the interrupt window
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *ACCEPTANCE_ARGS,
+         "--jobs", "1", "--checkpoint", str(checkpoint),
+         "--cmdlog", str(cmdlog_dir), "--trace", str(trace)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=slow_env,
+    )
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline and proc.poll() is None:
+        if checkpoint.exists() and checkpoint.stat().st_size > 0:
+            break
+        time.sleep(0.1)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        _, err = proc.communicate(timeout=300)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        print("FAIL: interrupted stress run did not exit after SIGTERM")
+        return False
+
+    if proc.returncode == 130:
+        print(f"interrupted mid-run (exit 130): {err.strip().splitlines()[-1]}")
+    elif proc.returncode == 0:
+        print("stress run finished before the signal landed; resume is a no-op run")
+    else:
+        print(f"FAIL: unexpected exit {proc.returncode}\n{err}")
+        return False
+
+    resumed = run_cli(
+        ACCEPTANCE_ARGS + ["--jobs", "1", "--checkpoint", str(checkpoint),
+                           "--resume", "--cmdlog", str(cmdlog_dir)],
+        env,
+    )
+    if resumed.returncode != 0:
+        print(f"FAIL: resume exited {resumed.returncode}\n{resumed.stderr}")
+        return False
+    print(f"resume: {resumed.stderr.strip() or '(no shards needed resuming)'}")
+
+    parallel = run_cli(ACCEPTANCE_ARGS + ["--jobs", "4"], env)
+    if parallel.returncode != 0:
+        print(f"FAIL: jobs=4 run exited {parallel.returncode}\n{parallel.stderr}")
+        return False
+
+    if summary_table(resumed.stdout) != summary_table(parallel.stdout):
+        print("FAIL: resumed jobs=1 summary differs from uninterrupted jobs=4")
+        print("--- resumed jobs=1 ---")
+        print(resumed.stdout)
+        print("--- jobs=4 ---")
+        print(parallel.stdout)
+        return False
+    print("leg C ok: SIGTERM + --resume matches uninterrupted jobs=4 exactly")
+
+    unsafe = summary_value(parallel.stdout, "unsafe_shutdowns")
+    expected = 25 + 25 // 5  # one per cycle + one per recovery-fault cycle
+    if unsafe != str(expected):
+        print(f"FAIL: unsafe_shutdowns = {unsafe}, expected {expected}")
+        return False
+    print(f"leg C ok: {unsafe} unsafe shutdowns for 25 cycles + 5 recovery faults")
+
+    error = check_cmdlogs(cmdlog_dir)
+    if error:
+        print(f"FAIL: {error}")
+        return False
+    return True
+
+
+def main():
+    env = cli_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_dir = Path(os.environ.get(ARTIFACT_DIR_ENV) or tmp)
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        if not leg_protection_contrast(env):
+            return 1
+        if not leg_interrupt_resume(env, artifact_dir):
+            return 1
+    print("OK: dirty-cycle stress harness verified end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ BENCH_FAMILIES: Dict[str, Tuple[str, str]] = {
     "ablation_cache": ("bench_ablation_cache", "regenerate_cache_ablation"),
     "ablation_discharge": ("bench_ablation_discharge", "regenerate_discharge_ablation"),
     "ablation_journal_interval": ("bench_ablation_journal_interval", "regenerate_journal_ablation"),
+    "dirty_cycle": ("bench_dirty_cycle", "regenerate_dirty_cycle"),
 }
 """family name -> (bench module, regeneration callable)."""
 

@@ -11,6 +11,7 @@ Usage (installed or via ``python -m repro``)::
     python -m repro discharge --load
     python -m repro post-ack --intervals 50,250,450,800
     python -m repro smart --device ssd-b --faults 3
+    python -m repro stress dirty-cycle --repeat 25 --seed 7
     python -m repro trace report run.trace.jsonl
     python -m repro trace report --follow run.trace.jsonl   # live dashboard
     python -m repro checkpoint compact run.ck.jsonl
@@ -155,6 +156,80 @@ def build_parser() -> argparse.ArgumentParser:
     smart.add_argument("--device", default="ssd-a")
     smart.add_argument("--faults", type=int, default=3)
     smart.add_argument("--seed", type=int, default=1)
+    smart.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the snapshot as machine-readable JSON instead of a table",
+    )
+
+    stress = sub.add_parser(
+        "stress", help="NVMe dirty-power-cycle stress loops with acked-write audit"
+    )
+    stress_sub = stress.add_subparsers(dest="stress_command", required=True)
+    dirty = stress_sub.add_parser(
+        "dirty-cycle",
+        help=(
+            "repeated fault -> power-on -> recover -> verify loops over the "
+            "NVMe queue pair; every acked LBA is classified via command-log "
+            "replay and SMART counters are audited each cycle"
+        ),
+    )
+    dirty.add_argument("--device", default="ssd-a", help="device preset name")
+    dirty.add_argument("--repeat", type=int, default=10, help="dirty cycles to run")
+    dirty.add_argument("--seed", type=int, default=1)
+    dirty.add_argument("--wss-gib", type=int, default=4)
+    dirty.add_argument("--read-pct", type=int, default=0, choices=range(0, 101), metavar="0-100")
+    dirty.add_argument("--size-min-kib", type=int, default=4)
+    dirty.add_argument("--size-max-kib", type=int, default=64)
+    dirty.add_argument(
+        "--pattern", choices=["random", "sequential"], default="random"
+    )
+    dirty.add_argument("--iops", type=float, default=None, help="open-loop requested IOPS")
+    dirty.add_argument("--qdepth", type=int, default=64, help="NVMe queue-pair depth")
+    dirty.add_argument(
+        "--flush-every",
+        type=int,
+        default=0,
+        help="chase every Nth write with a FLUSH (0 disables)",
+    )
+    dirty.add_argument(
+        "--write-zeroes-pct",
+        type=int,
+        default=0,
+        choices=range(0, 101),
+        metavar="0-100",
+        help="percent of writes issued as WRITE ZEROES",
+    )
+    dirty.add_argument(
+        "--recovery-fault-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="every Nth cycle also cuts power mid-FTL-recovery (0 disables)",
+    )
+    dirty.add_argument(
+        "--cmdlog",
+        metavar="DIR",
+        default=None,
+        help="persist per-shard command logs (JSONL, CRC per record) here",
+    )
+    dirty.add_argument("--per-cycle", action="store_true", help="print per-cycle rows")
+    dirty.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (shard plan is fixed, so results match any job count)",
+    )
+    dirty.add_argument(
+        "--shard-cycles",
+        type=int,
+        default=DEFAULT_SHARD_FAULTS,
+        help="max dirty cycles per engine shard (determines available parallelism)",
+    )
+    dirty.add_argument(
+        "--progress", action="store_true", help="print engine shard telemetry to stderr"
+    )
+    _add_fault_tolerance_flags(dirty)
 
     fleet = sub.add_parser(
         "fleet", help="run the Table I population (six units) and rank by loss"
@@ -424,7 +499,84 @@ def _cmd_smart(args: argparse.Namespace) -> int:
     spec = WorkloadSpec(wss_bytes=8 * GIB, read_fraction=0.0, outstanding=16)
     platform = TestPlatform(spec, config=config, seed=args.seed)
     Campaign(platform, CampaignConfig(faults=args.faults)).run()
-    print(platform.ssd.smart_log().render())
+    log = platform.ssd.smart_log()
+    if args.json:
+        import json as json_mod
+
+        print(json_mod.dumps(log.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(log.render())
+    return 0
+
+
+def _cmd_stress_dirty_cycle(args: argparse.Namespace) -> int:
+    from repro.stress import DirtyCyclePlan
+    from repro.units import KIB as _KIB
+
+    spec = WorkloadSpec(
+        wss_bytes=args.wss_gib * GIB,
+        read_fraction=args.read_pct / 100.0,
+        size_min_bytes=args.size_min_kib * _KIB,
+        size_max_bytes=args.size_max_kib * _KIB,
+        pattern=AccessPattern(args.pattern),
+        requested_iops=args.iops,
+    )
+    plan = DirtyCyclePlan(
+        spec=spec,
+        faults=args.repeat,
+        device=models.by_name(args.device),
+        base_seed=args.seed,
+        shard_faults=args.shard_cycles,
+        qdepth=args.qdepth,
+        flush_every=args.flush_every,
+        write_zeroes_frac=args.write_zeroes_pct / 100.0,
+        recovery_fault_every=args.recovery_fault_every,
+        cmdlog_dir=args.cmdlog,
+    )
+    print(
+        f"running {args.repeat} dirty power cycles against {plan.display_label()} "
+        f"({plan.shard_count()} shards, jobs={args.jobs}) ..."
+    )
+    tracer = TraceWriter(args.trace) if args.trace else None
+    progress = fanout_hooks(ConsoleProgress() if args.progress else None, tracer)
+    try:
+        result = run_plan(
+            plan, jobs=args.jobs, progress=progress, **_engine_kwargs(args)
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.per_cycle:
+        print(
+            ascii_table(
+                ["cycle", "acked", "intact", "FWA", "data loss", "IO err", "unsafe"],
+                [
+                    [
+                        c.cycle_index,
+                        c.writes_completed,
+                        c.intact_writes,
+                        c.fwa_failures,
+                        c.data_failures,
+                        c.io_errors,
+                        c.unsafe_shutdowns,
+                    ]
+                    for c in result.cycles
+                ],
+            )
+        )
+    summary = dict(result.summary())
+    summary["unsafe_shutdowns"] = result.unsafe_shutdowns
+    summary["intact_writes"] = result.intact_writes
+    print(
+        ascii_table(
+            list(summary.keys()),
+            [list(summary.values())],
+            title="dirty-cycle summary",
+        )
+    )
+    _report_execution(result)
+    if result.execution.shards_quarantined and not args.quarantine:
+        return 1
     return 0
 
 
@@ -662,6 +814,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_post_ack(args)
     if args.command == "smart":
         return _cmd_smart(args)
+    if args.command == "stress":
+        return _cmd_stress_dirty_cycle(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
     if args.command == "worker":

@@ -64,6 +64,11 @@ class VerificationOutcome:
         """Failures of one kind."""
         return sum(1 for r in self.records if r.kind is kind)
 
+    @property
+    def intact_packets(self) -> int:
+        """Packets that verified clean (each failed packet yields one record)."""
+        return self.packets_checked - len(self.records)
+
 
 class Analyzer:
     """Stateful verifier over one host system.

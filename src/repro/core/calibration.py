@@ -79,6 +79,13 @@ ANCHORS: Dict[str, Anchor] = {
         "§III-B: '30 seconds timeout for delayed requests'",
         "repro.trace.btt.DELAYED_REQUEST_TIMEOUT_US / BlockLayer.timeout_us",
     ),
+    "unsafe_shutdowns_per_dirty_cycle": Anchor(
+        1,
+        "count/cycle",
+        "NVMe SMART/Health log: each dirty power cycle increments the "
+        "Unsafe Shutdowns field by exactly one (qualification-rig invariant)",
+        "repro.ssd.device unsafe_shutdowns counter + repro.stress SMART audit",
+    ),
 }
 
 
@@ -106,6 +113,7 @@ PAPER_FAULTS = {
     "fig8_iops": 600,
     "fig9_sequences": 300,
     "sec4d_pattern": 300,
+    "dirty_cycle": 300,
 }
 """Fault counts the paper reports per experiment family."""
 

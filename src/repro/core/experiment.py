@@ -181,4 +181,5 @@ EXPERIMENTS: Dict[str, str] = {
     "ablation_cache": "benchmarks/bench_ablation_cache.py",
     "ablation_discharge": "benchmarks/bench_ablation_discharge.py",
     "ablation_journal_interval": "benchmarks/bench_ablation_journal_interval.py",
+    "stress_dirty_cycle": "benchmarks/bench_dirty_cycle.py",
 }

@@ -24,6 +24,8 @@ class FaultCycleResult:
     dirty_pages_lost: int = 0
     collateral_pages: int = 0
     supercap_pages_saved: int = 0
+    unsafe_shutdowns: int = 0
+    intact_writes: int = 0
 
     @property
     def total_data_loss(self) -> int:
@@ -154,6 +156,16 @@ class CampaignResult:
     def total_data_loss(self) -> int:
         """Data failures + FWA."""
         return self.data_failures + self.fwa_failures
+
+    @property
+    def unsafe_shutdowns(self) -> int:
+        """SMART unsafe-shutdown increments across all cycles (stress runs)."""
+        return sum(c.unsafe_shutdowns for c in self.cycles)
+
+    @property
+    def intact_writes(self) -> int:
+        """Acked writes verified intact across all cycles (stress runs)."""
+        return sum(c.intact_writes for c in self.cycles)
 
     # -- rates ------------------------------------------------------------------------
 

@@ -178,6 +178,18 @@ class CampaignPlan:
             max_segment_pages=self.max_segment_pages,
         )
 
+    def shard_label(self, shard: ShardSpec) -> str:
+        """Display label of one shard's result (``#s<i>`` suffix when split).
+
+        Shared by every plan subclass (e.g. the stress harness's
+        :class:`repro.stress.dirty_cycle.DirtyCyclePlan`) so merged results
+        read identically whichever plan produced them.
+        """
+        label = self.display_label()
+        if shard.count > 1:
+            label = f"{label}#s{shard.index}"
+        return label
+
     def run_shard(self, shard: ShardSpec) -> CampaignResult:
         """Hydrate a platform and run one shard to completion.
 
@@ -185,9 +197,7 @@ class CampaignPlan:
         plan; it is also the serial executor's inner loop, so both paths
         share one code path by construction.
         """
-        label = self.display_label()
-        if shard.count > 1:
-            label = f"{label}#s{shard.index}"
+        label = self.shard_label(shard)
         platform = self.build_platform(shard.seed)
         campaign = Campaign(platform, self.campaign_config(shard.faults))
         return campaign.run(label)

@@ -102,6 +102,34 @@ class CheckpointError(ReproError):
     """
 
 
+class NvmeQueueError(ProtocolError):
+    """An NVMe queue-pair invariant was violated.
+
+    Raised for a submission pushed into a full submission queue, a
+    completion posted to a full completion queue (fatal on real hardware),
+    or admin access to an unknown log page.
+    """
+
+
+class CmdlogError(ReproError):
+    """The stress harness's command log is unreadable or internally corrupt.
+
+    Mirrors :class:`CheckpointError`'s contract: a torn *final* record
+    (crash mid-append) is tolerated on replay, damage anywhere before the
+    tail raises.
+    """
+
+
+class StressAuditError(ReproError):
+    """A dirty-power-cycle audit assertion failed.
+
+    Raised when the device's self-reported SMART counters (unsafe
+    shutdowns, power cycles) disagree with the number of faults the harness
+    actually injected — the self-reporting-vs-ground-truth comparison the
+    paper's methodology calls for.
+    """
+
+
 class TraceError(ReproError):
     """The block-layer tracer was queried for an unknown request or event."""
 

@@ -33,13 +33,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass
 class RecoveryReport:
-    """Outcome of one power-on recovery pass."""
+    """Outcome of one power-on recovery pass.
+
+    ``pass_index`` counts completed recoveries on this engine (1-based);
+    ``resumed_after_interrupt`` is True when at least one earlier attempt
+    was cut short by another power loss before this pass could apply — the
+    double-fault-during-recovery scenario the stress harness exercises.
+    """
 
     stranded_updates: int = 0
     recovered_updates: int = 0
     lost_updates: int = 0
     lost_lpns: List[int] = field(default_factory=list)
     lost_extent_runs: int = 0
+    pass_index: int = 0
+    resumed_after_interrupt: bool = False
 
     @property
     def lost_page_count(self) -> int:
@@ -73,6 +81,20 @@ class RecoveryEngine:
         self.rng = rng
         self.page_recovery_prob = page_recovery_prob
         self.extent_recovery_prob = extent_recovery_prob
+        self.passes_completed = 0
+        self.interruptions = 0
+        self._interrupted_since_last_pass = 0
+
+    def note_interrupted(self) -> None:
+        """Record a recovery attempt cut short by another power loss.
+
+        Nothing is rolled back or cleared: the scan had not applied yet, so
+        the stranded updates remain journaled on media and the next
+        :meth:`recover` sees exactly the same population (rebuilt from
+        media, with fresh per-update draws).
+        """
+        self.interruptions += 1
+        self._interrupted_since_last_pass += 1
 
     def recover(self) -> RecoveryReport:
         """Resolve every stranded update; returns what was lost.
@@ -82,7 +104,13 @@ class RecoveryEngine:
         scan walks write order).
         """
         stranded = self.ftl.journal.stranded_updates()
-        report = RecoveryReport(stranded_updates=len(stranded))
+        self.passes_completed += 1
+        report = RecoveryReport(
+            stranded_updates=len(stranded),
+            pass_index=self.passes_completed,
+            resumed_after_interrupt=self._interrupted_since_last_pass > 0,
+        )
+        self._interrupted_since_last_pass = 0
 
         # Extent updates sharing a table entry share one fate.
         extent_fate: Dict[int, bool] = {}

@@ -1,0 +1,36 @@
+"""NVMe-style command interface over the SSD device model.
+
+The paper drives its device through the kernel block layer; modern
+power-loss qualification (pynvme, SPDK) instead talks NVMe directly:
+paired submission/completion queues with a configurable depth, explicit
+completion-equals-acknowledgement semantics, FLUSH and WRITE ZEROES, and
+an admin path that reads the SMART / Health log.  This package provides
+that surface on top of :class:`repro.ssd.device.SsdDevice` so the
+dirty-power-cycle stress harness (:mod:`repro.stress`) can audit
+*acknowledged* writes with NVMe-grade precision:
+
+- :mod:`repro.nvme.command` — NVM opcodes, submissions, completions;
+- :mod:`repro.nvme.queue` — SQ/CQ pairs with overflow-safe flow control;
+- :mod:`repro.nvme.controller` — the controller front-end + admin path.
+"""
+
+from repro.nvme.command import NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus
+from repro.nvme.controller import (
+    NvmeController,
+    NvmeHealthLog,
+    SMART_LOG_PAGE,
+)
+from repro.nvme.queue import CompletionQueue, QueuePair, SubmissionQueue
+
+__all__ = [
+    "CompletionQueue",
+    "NvmeCommand",
+    "NvmeCompletion",
+    "NvmeController",
+    "NvmeHealthLog",
+    "NvmeOpcode",
+    "NvmeStatus",
+    "QueuePair",
+    "SMART_LOG_PAGE",
+    "SubmissionQueue",
+]

@@ -1,0 +1,105 @@
+"""NVMe-style command and completion records.
+
+The stress subsystem talks to the device model through an NVMe-shaped
+interface (paired queues, explicit completions) instead of the block layer,
+mirroring how real dirty-power-cycle qualification drives a drive (pynvme,
+SPDK): every command gets a controller-assigned **command identifier** and
+is only *acknowledged* when its completion entry is posted to the
+completion queue.  That CQE-posted instant is what the command log records
+as the acknowledgement time — the reference point for the paper's False
+Write-Acknowledge classification.
+
+Opcode values follow the NVM command set (FLUSH 0x00, WRITE 0x01,
+READ 0x02, WRITE ZEROES 0x08).  Unlike real NVMe, command identifiers are
+never reused: they increase monotonically per queue pair so the command
+log can key submissions and completions by ``cid`` alone.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.ssd.command import CommandStatus
+
+
+class NvmeOpcode(enum.IntEnum):
+    """NVM command set opcodes the model implements."""
+
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+    WRITE_ZEROES = 0x08
+
+
+class NvmeStatus(enum.Enum):
+    """Completion status of one command."""
+
+    SUCCESS = "success"
+    ABORTED_POWER_LOSS = "aborted_power_loss"
+
+    @classmethod
+    def from_command_status(cls, status: CommandStatus) -> "NvmeStatus":
+        if status is CommandStatus.OK:
+            return cls.SUCCESS
+        return cls.ABORTED_POWER_LOSS
+
+
+@dataclass
+class NvmeCommand:
+    """One submission-queue entry.
+
+    ``cid`` is -1 until the queue pair assigns one at submission time;
+    ``tokens`` carries the per-page data checksums for WRITE (filled from
+    :func:`repro.workload.checksum.page_token` when left empty, so every
+    write's payload is unique and auditable).
+    """
+
+    opcode: NvmeOpcode
+    slba: int = 0
+    nlb: int = 1
+    tokens: List[int] = field(default_factory=list)
+    cid: int = -1
+    submit_time: int = -1
+
+    def __post_init__(self) -> None:
+        if self.opcode is NvmeOpcode.FLUSH:
+            if self.tokens:
+                raise ProtocolError("FLUSH carries no data")
+            return
+        if self.nlb <= 0:
+            raise ProtocolError("zero-length NVMe command")
+        if self.slba < 0:
+            raise ProtocolError("negative starting LBA")
+        if self.tokens and len(self.tokens) != self.nlb:
+            raise ProtocolError("write needs one token per block")
+
+    @property
+    def is_write(self) -> bool:
+        """True for commands that put data at an address (WRITE family)."""
+        return self.opcode in (NvmeOpcode.WRITE, NvmeOpcode.WRITE_ZEROES)
+
+
+@dataclass(frozen=True)
+class NvmeCompletion:
+    """One completion-queue entry.
+
+    Posting this entry *is* the acknowledgement: a write whose completion
+    never posts (or posts with an error status) was never acked, whatever
+    the DRAM cache did with its pages in the meantime.
+    """
+
+    cid: int
+    opcode: NvmeOpcode
+    status: NvmeStatus
+    slba: int
+    nlb: int
+    complete_time: int
+    tokens: Optional[List[int]] = None  # READ: data tokens returned
+
+    @property
+    def ok(self) -> bool:
+        """True when the command succeeded."""
+        return self.status is NvmeStatus.SUCCESS

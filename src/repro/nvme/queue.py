@@ -1,0 +1,135 @@
+"""Paired submission/completion queues.
+
+A :class:`QueuePair` bundles one submission queue and one completion queue
+of equal, configurable depth — the structure real NVMe hosts allocate per
+core.  The model keeps the essential flow-control contract:
+
+- the host may hold at most ``depth`` entries in the submission queue;
+  pushing into a full queue raises (a real host would spin on the doorbell);
+- the controller admits a submission only while the in-flight count plus
+  the number of *unreaped* completions stays within ``depth``, so the
+  completion queue can never overflow (CQ overflow is fatal on hardware);
+- completions sit in the completion queue until the host **reaps** them;
+  reaping is what frees the slot for further submissions.
+
+Command identifiers are assigned here, monotonically from 1, and are never
+reused (see :mod:`repro.nvme.command`); the in-flight table is keyed by
+them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import NvmeQueueError
+from repro.nvme.command import NvmeCommand, NvmeCompletion
+
+
+class SubmissionQueue:
+    """Host-side backlog of commands not yet admitted by the controller."""
+
+    def __init__(self, qid: int, depth: int) -> None:
+        if depth <= 0:
+            raise NvmeQueueError("queue depth must be positive")
+        self.qid = qid
+        self.depth = depth
+        self._entries: Deque[NvmeCommand] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        """True when another push would overflow the ring."""
+        return len(self._entries) >= self.depth
+
+    def push(self, command: NvmeCommand) -> None:
+        """Append one entry (raises :class:`NvmeQueueError` when full)."""
+        if self.full:
+            raise NvmeQueueError(f"submission queue {self.qid} full (depth {self.depth})")
+        self._entries.append(command)
+
+    def pop(self) -> NvmeCommand:
+        """Remove and return the oldest entry."""
+        if not self._entries:
+            raise NvmeQueueError(f"submission queue {self.qid} empty")
+        return self._entries.popleft()
+
+    def drain(self) -> List[NvmeCommand]:
+        """Remove and return every queued entry (controller-reset path)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries
+
+
+class CompletionQueue:
+    """Controller-side ring of completions awaiting the host."""
+
+    def __init__(self, qid: int, depth: int) -> None:
+        if depth <= 0:
+            raise NvmeQueueError("queue depth must be positive")
+        self.qid = qid
+        self.depth = depth
+        self._entries: Deque[NvmeCompletion] = deque()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_slots(self) -> int:
+        """Unoccupied CQ entries."""
+        return self.depth - len(self._entries)
+
+    def post(self, completion: NvmeCompletion) -> None:
+        """Controller posts one CQE (overflow is a protocol violation)."""
+        if self.free_slots <= 0:
+            raise NvmeQueueError(
+                f"completion queue {self.qid} overflow (depth {self.depth})"
+            )
+        self._entries.append(completion)
+
+    def reap(self, max_entries: Optional[int] = None) -> List[NvmeCompletion]:
+        """Host consumes up to ``max_entries`` completions (all by default)."""
+        budget = len(self._entries) if max_entries is None else max_entries
+        reaped: List[NvmeCompletion] = []
+        while self._entries and len(reaped) < budget:
+            reaped.append(self._entries.popleft())
+        return reaped
+
+
+class QueuePair:
+    """One SQ/CQ pair plus the in-flight command table."""
+
+    def __init__(self, qid: int, depth: int) -> None:
+        self.qid = qid
+        self.depth = depth
+        self.sq = SubmissionQueue(qid, depth)
+        self.cq = CompletionQueue(qid, depth)
+        self.outstanding: Dict[int, NvmeCommand] = {}
+        self._next_cid = 1
+        # Statistics.
+        self.submitted = 0
+        self.completed_ok = 0
+        self.completed_error = 0
+
+    def assign_cid(self, command: NvmeCommand) -> int:
+        """Give a command its (monotonic, never-reused) identifier."""
+        if command.cid < 0:
+            command.cid = self._next_cid
+            self._next_cid += 1
+        return command.cid
+
+    @property
+    def inflight(self) -> int:
+        """Commands the controller has admitted but not completed."""
+        return len(self.outstanding)
+
+    def can_admit(self) -> bool:
+        """Flow control: in-flight plus unreaped CQEs must fit the depth.
+
+        This is the invariant that makes CQ overflow impossible: every
+        admitted command eventually posts exactly one completion, so the
+        controller only takes work while a CQ slot is guaranteed.
+        """
+        return self.inflight + len(self.cq) < self.depth

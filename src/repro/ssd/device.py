@@ -67,6 +67,7 @@ class SsdConfig:
     queue_depth: int = 32
     current_draw_amps: float = 1.0
     init_time_us: int = 400 * MSEC
+    recovery_time_us: int = 0
     supercap: Optional[SupercapBackup] = None
     release_year: Optional[int] = None
 
@@ -81,6 +82,8 @@ class SsdConfig:
             raise ConfigurationError("cache capacity must be positive")
         if not 0.0 < self.current_draw_amps < 10.0:
             raise ConfigurationError("implausible current draw")
+        if self.recovery_time_us < 0:
+            raise ConfigurationError("recovery time cannot be negative")
 
     @property
     def write_back(self) -> bool:
@@ -189,6 +192,7 @@ class SsdDevice:
 
         self.state = DevicePowerState.OFF
         self._unclean_shutdown = False
+        self._clean_shutdown_armed = False
         self._queue: Deque[IoCommand] = deque()
         self._current_cmd: Optional[IoCommand] = None
         self._arrival = Signal(kernel, f"{self.name}.arrival")
@@ -199,6 +203,7 @@ class SsdDevice:
         self._flusher: Optional[Process] = None
         self._active_batch: Optional[_FlushBatch] = None
         self._init_event = None
+        self._recovery_event = None
         self.last_recovery: Optional[RecoveryReport] = None
         self.last_damage: Optional[PowerFaultDamage] = None
 
@@ -209,6 +214,8 @@ class SsdDevice:
         self.writes_ok = 0
         self.power_cycles = 0
         self.unclean_losses = 0
+        self.unsafe_shutdowns = 0
+        self.recovery_interruptions = 0
 
         psu.attach_load(self)
         thresholds = config.thresholds
@@ -253,6 +260,7 @@ class SsdDevice:
         with IO_ERROR — the host-visible unavailability the paper measures.
         """
         command.submit_time = self.kernel.now
+        self._clean_shutdown_armed = False  # new work voids a shutdown notification
         if self.state is not DevicePowerState.READY:
             self._complete(command, CommandStatus.IO_ERROR)
             return
@@ -268,6 +276,16 @@ class SsdDevice:
     def queue_length(self) -> int:
         """Commands waiting for the dispatcher (excludes the one in service)."""
         return len(self._queue)
+
+    def arm_clean_shutdown(self) -> None:
+        """Record an NVMe-style shutdown notification (CC.SHN).
+
+        Callers must have drained volatile state first (FLUSH); the next
+        power removal is then an *orderly* shutdown: it neither marks the
+        device unclean nor bumps the unsafe-shutdown SMART counter.  Any
+        subsequently submitted command disarms the notification.
+        """
+        self._clean_shutdown_armed = True
 
     def peek(self, lpn: int) -> Optional[int]:
         """Zero-time forensic read used by the Analyzer after recovery.
@@ -479,14 +497,28 @@ class SsdDevice:
     # -- power-event handlers ------------------------------------------------------------------
 
     def _on_detach(self, volts: float) -> None:
-        if self.state not in (DevicePowerState.READY, DevicePowerState.INITIALIZING):
+        if self.state not in (
+            DevicePowerState.READY,
+            DevicePowerState.INITIALIZING,
+            DevicePowerState.RECOVERING,
+        ):
             return
-        was_initializing = self.state is DevicePowerState.INITIALIZING
+        was_booting = self.state is not DevicePowerState.READY
+        was_recovering = self.state is DevicePowerState.RECOVERING
         self.state = DevicePowerState.DETACHED
         if self._init_event is not None:
             self._init_event.cancel()
             self._init_event = None
-        if was_initializing:
+        if self._recovery_event is not None:
+            self._recovery_event.cancel()
+            self._recovery_event = None
+        if was_recovering:
+            # Power loss *during* recovery: the rebuild never applied, so the
+            # stranded journal entries stay on media untouched and the next
+            # power-on re-enters recovery from exactly that state.
+            self.recovery_interruptions += 1
+            self.ftl.recovery.note_interrupted()
+        if was_booting:
             return
         # Host side: the link is gone.  Every outstanding command errors.
         damage = PowerFaultDamage()
@@ -510,7 +542,24 @@ class SsdDevice:
         if self.state is not DevicePowerState.DETACHED:
             return
         self.state = DevicePowerState.DEAD
+        if self._clean_shutdown_armed:
+            # Orderly shutdown (NVMe CC.SHN acknowledged): the cache and
+            # journal were drained before the rail fell, so this power
+            # removal is neither unclean nor unsafe.
+            self._clean_shutdown_armed = False
+            if self._flusher is not None and self._flusher.alive:
+                self._flusher.kill()
+            self._flusher = None
+            if self._dispatcher is not None and self._dispatcher.alive:
+                self._dispatcher.kill()
+            self._dispatcher = None
+            self._backup_power = False
+            self.ftl.power_loss()
+            self.chip.power_loss()
+            self.last_damage = self.last_damage or PowerFaultDamage()
+            return
         self.unclean_losses += 1
+        self.unsafe_shutdowns += 1
         self._unclean_shutdown = True
         damage = self.last_damage or PowerFaultDamage()
         # Supercap (if fitted) destages what its energy budget allows.
@@ -571,6 +620,25 @@ class SsdDevice:
         if self.state is not DevicePowerState.INITIALIZING:
             return
         self.chip.power_on()
+        if self._unclean_shutdown and self.config.recovery_time_us > 0:
+            # Recovery takes wall time: the OOB scan runs while RECOVERING
+            # and its result is applied atomically at the end of the window.
+            # A power loss inside the window cancels the application; the
+            # stranded updates stay on media for the next attempt.
+            self.state = DevicePowerState.RECOVERING
+            self._recovery_event = self.kernel.schedule(
+                self.config.recovery_time_us, self._recovery_done
+            )
+            return
+        self._finish_bringup()
+
+    def _recovery_done(self) -> None:
+        self._recovery_event = None
+        if self.state is not DevicePowerState.RECOVERING:
+            return
+        self._finish_bringup()
+
+    def _finish_bringup(self) -> None:
         if self._unclean_shutdown:
             self.last_recovery = self.ftl.power_on_recover()
             self._unclean_shutdown = False
@@ -609,6 +677,8 @@ class SsdDevice:
             "writes_ok": self.writes_ok,
             "power_cycles": self.power_cycles,
             "unclean_losses": self.unclean_losses,
+            "unsafe_shutdowns": self.unsafe_shutdowns,
+            "recovery_interruptions": self.recovery_interruptions,
             "cache_dirty": self.cache.dirty_count,
             "ftl": self.ftl.stats(),
         }

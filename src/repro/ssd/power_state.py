@@ -20,10 +20,20 @@ from repro.units import SSD_DETACH_VOLTAGE
 
 
 class DevicePowerState(enum.Enum):
-    """Host- and controller-level availability."""
+    """Host- and controller-level availability.
+
+    RECOVERING is only entered when the device boots after an unclean
+    shutdown *and* its config gives recovery a nonzero duration
+    (``SsdConfig.recovery_time_us``); with the default of 0 the rebuild
+    happens instantaneously inside INITIALIZING, as before.  A power loss
+    arriving while RECOVERING has a defined transition: the pending rebuild
+    is cancelled, the stranded journal entries stay untouched on media, and
+    the next power-on re-enters recovery from that same on-media state.
+    """
 
     OFF = "off"  # rail absent, nothing running
-    INITIALIZING = "initializing"  # rail nominal, firmware booting/recovering
+    INITIALIZING = "initializing"  # rail nominal, firmware booting
+    RECOVERING = "recovering"  # rebuilding the map after an unclean shutdown
     READY = "ready"  # accepting host commands
     DETACHED = "detached"  # link lost (rail < 4.5 V), internals alive
     DEAD = "dead"  # rail below brownout floor

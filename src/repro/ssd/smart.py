@@ -67,6 +67,7 @@ class SmartLog:
 
 POWER_CYCLE_COUNT = 12
 UNEXPECTED_POWER_LOSS = 174
+UNSAFE_SHUTDOWN_COUNT = 192
 REPORTED_UNCORRECTABLE = 187
 PROGRAM_FAIL_COUNT = 181
 ERASE_COUNT_AVG = 173
@@ -91,6 +92,9 @@ def collect_smart(device: "SsdDevice") -> SmartLog:
         SmartAttribute(POWER_CYCLE_COUNT, "Power_Cycle_Count", device.power_cycles),
         SmartAttribute(
             UNEXPECTED_POWER_LOSS, "Unexpect_Power_Loss_Ct", device.unclean_losses
+        ),
+        SmartAttribute(
+            UNSAFE_SHUTDOWN_COUNT, "Unsafe_Shutdown_Ct", device.unsafe_shutdowns
         ),
         SmartAttribute(
             REPORTED_UNCORRECTABLE, "Reported_Uncorrect", chip.uncorrectable_reads

@@ -1,0 +1,42 @@
+"""Dirty-power-cycle stress harness with acked-write audit.
+
+The paper injects faults and checks checksums once per cycle; this package
+runs the *qualification* version of that experiment the way NVMe power-loss
+rigs do: repeated fault → power-on → recover → verify loops driven through
+the NVMe queue-pair front-end (:mod:`repro.nvme`), with every submission
+and completion recorded in a crash-consistent command log that is replayed
+after each power-on to classify every acknowledged LBA as intact /
+flying-write-ACK / data-loss / IO-error — and the device's own SMART
+counters (unsafe shutdowns, power cycles) audited against the number of
+faults actually injected.
+
+- :mod:`repro.stress.cmdlog` — the append-only, torn-tail-tolerant
+  command log and the replay/audit pipeline;
+- :mod:`repro.stress.dirty_cycle` — :class:`DirtyCyclePlan`, an engine
+  :class:`~repro.engine.plan.CampaignPlan` whose shards run dirty cycles
+  (CLI: ``repro stress dirty-cycle --repeat N``).
+"""
+
+from repro.stress.cmdlog import (
+    CommandLog,
+    CycleAudit,
+    ReplayedLog,
+    audit_cycle,
+    replay_cmdlog,
+)
+from repro.stress.dirty_cycle import (
+    DEFAULT_RECOVERY_TIME_US,
+    DirtyCyclePlan,
+    run_dirty_shard,
+)
+
+__all__ = [
+    "CommandLog",
+    "CycleAudit",
+    "DEFAULT_RECOVERY_TIME_US",
+    "DirtyCyclePlan",
+    "ReplayedLog",
+    "audit_cycle",
+    "replay_cmdlog",
+    "run_dirty_shard",
+]

@@ -112,6 +112,31 @@ def sequence_sweep(wss_gib: int = 32) -> Dict[str, WorkloadSpec]:
     }
 
 
+def dirty_cycle_stress(wss_gib: int = 4) -> Dict[str, WorkloadSpec]:
+    """NVMe dirty-power-cycle stress (extension, not a paper figure).
+
+    Closed-loop small-to-medium random writes — the mix the qualification
+    rigs drive while cutting power — plus an open-loop paced variant that
+    stays inside a supercap drive's destage budget (the zero-loss
+    protection leg of the CI smoke).
+    """
+    return {
+        "burst": WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+            size_min_bytes=4 * KIB,
+            size_max_bytes=64 * KIB,
+        ),
+        "paced": WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+            size_min_bytes=4 * KIB,
+            size_max_bytes=4 * KIB,
+            requested_iops=2000.0,
+        ),
+    }
+
+
 ALL_FAMILIES = {
     "fig5_request_type": request_type_sweep,
     "fig6_wss": wss_sweep,
@@ -119,5 +144,6 @@ ALL_FAMILIES = {
     "fig7_request_size": request_size_sweep,
     "fig8_iops": iops_sweep,
     "fig9_sequences": sequence_sweep,
+    "dirty_cycle": dirty_cycle_stress,
 }
 """Experiment family -> sweep builder, keyed like the calibration registry."""

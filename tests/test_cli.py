@@ -111,6 +111,47 @@ class TestParser:
         assert build_parser().parse_args(["fleet", "--progress"]).progress is True
         assert build_parser().parse_args(["fleet"]).progress is False
 
+    def test_smart_json_flag(self):
+        args = build_parser().parse_args(["smart", "--json"])
+        assert args.json is True
+
+    def test_stress_dirty_cycle_accepts_acceptance_flags(self):
+        args = build_parser().parse_args(
+            [
+                "stress", "dirty-cycle",
+                "--repeat", "25",
+                "--seed", "7",
+                "--device", "ssd-a",
+                "--jobs", "4",
+                "--shard-cycles", "2",
+                "--qdepth", "16",
+                "--recovery-fault-every", "5",
+                "--wss-gib", "1",
+            ]
+        )
+        assert args.command == "stress"
+        assert args.stress_command == "dirty-cycle"
+        assert args.repeat == 25
+        assert args.seed == 7
+        assert args.jobs == 4
+        assert args.shard_cycles == 2
+        assert args.recovery_fault_every == 5
+
+    def test_stress_dirty_cycle_fault_tolerance_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "stress", "dirty-cycle",
+                "--checkpoint", str(tmp_path / "ck.jsonl"),
+                "--resume",
+                "--cmdlog", str(tmp_path / "logs"),
+                "--max-retries", "2",
+                "--quarantine",
+            ]
+        )
+        assert args.resume is True
+        assert args.quarantine is True
+        assert args.cmdlog == str(tmp_path / "logs")
+
     def test_checkpoint_compact_subcommand(self):
         args = build_parser().parse_args(["checkpoint", "compact", "ck.jsonl"])
         assert args.checkpoint_command == "compact"
@@ -330,6 +371,38 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Unexpect_Power_Loss_Ct" in out
         assert "Power_Cycle_Count" in out
+
+    def test_smart_json_output(self, capsys):
+        import json
+
+        assert main(["smart", "--device", "ssd-a", "--faults", "2", "--json"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert log["Unsafe_Shutdown_Ct"] == 2
+        assert log["Unexpect_Power_Loss_Ct"] == 2
+
+    def test_stress_dirty_cycle_small(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "stress", "dirty-cycle",
+                    "--repeat", "2",
+                    "--seed", "7",
+                    "--wss-gib", "1",
+                    "--qdepth", "8",
+                    "--per-cycle",
+                    "--cmdlog", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dirty-cycle summary" in out
+        assert "unsafe_shutdowns" in out
+        assert (tmp_path / "shard0000.cmdlog.jsonl").is_file()
+
+    def test_bench_list_includes_dirty_cycle(self, capsys):
+        assert main(["bench", "list"]) == 0
+        assert "dirty_cycle" in capsys.readouterr().out
 
     def test_fleet_command(self, capsys):
         assert main(["fleet", "--faults", "1", "--wss-gib", "2"]) == 0

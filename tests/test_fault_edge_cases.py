@@ -93,6 +93,59 @@ class TestDoubleFault:
         # produced damage (no traffic during the second).
         assert host.ssd.power_cycles >= 3
 
+    def test_fault_during_ftl_recovery_window(self):
+        # With a real recovery window the device passes through RECOVERING
+        # after an unclean loss; a second rail drop inside that window is
+        # the power-loss-during-power-loss-recovery transition.  It must be
+        # counted (recovery_interruptions, one extra unsafe shutdown) and
+        # the *next* power-on must run recovery again and reach READY.
+        # The window must outlast the rail's ~40-50 ms decay to the detach
+        # threshold, or the cut lands after recovery already finished.
+        host = make_host(recovery_time_us=200 * MSEC)
+        host.boot()
+        host.write(0, [1])
+        host.run_for_ms(50)
+        host.cut_power()
+        host.run_for_ms(1500)
+        host.restore_power()
+        host.run_for_ms(150)  # init (~100 ms) done, inside recovery window
+        assert host.ssd.state is DevicePowerState.RECOVERING
+        host.cut_power()
+        host.run_for_ms(1500)
+        assert host.ssd.recovery_interruptions == 1
+        host.restore_power()
+        host.wait_until_ready()
+        assert host.ssd.is_ready
+        # Both rail drops were dirty: two unsafe shutdowns, and the final
+        # recovery pass knows it resumed after an interrupted attempt
+        # (pass_index counts *completed* passes, so the aborted one does
+        # not appear in it).
+        assert host.ssd.unsafe_shutdowns == 2
+        assert host.ssd.last_recovery.resumed_after_interrupt
+        assert host.ssd.last_recovery.pass_index == 1
+
+    def test_device_usable_after_interrupted_recovery(self):
+        host = make_host(recovery_time_us=200 * MSEC)
+        host.boot()
+        host.write(3, [9])
+        host.run_for_ms(300)
+        host.ssd.ftl.checkpoint()
+        host.cut_power()
+        host.run_for_ms(1500)
+        host.restore_power()
+        host.run_for_ms(150)
+        assert host.ssd.state is DevicePowerState.RECOVERING
+        host.cut_power()
+        host.run_for_ms(1500)
+        host.restore_power()
+        host.wait_until_ready()
+        # Checkpointed data survives the interrupted recovery, and fresh
+        # traffic completes normally afterwards.
+        assert host.ssd.peek(3) == 9
+        req = host.write(4, [11])
+        host.run_for_ms(50)
+        assert req.ok
+
     def test_many_consecutive_faults(self):
         host = make_host()
         host.boot()

@@ -1,0 +1,234 @@
+"""NVMe queue-pair semantics: flow control, completion ≡ acknowledgement.
+
+The stress harness's audit is only as trustworthy as the queue model under
+it, so these tests pin the contracts down: SQ/CQ depth limits, the
+CQ-overflow-impossible admission invariant, monotonic never-reused command
+identifiers, WRITE ZEROES carrying the zero token, error completions on
+power faults, the SMART/Health admin log, and the CC.SHN clean-shutdown
+path that must NOT count as an unsafe shutdown.
+"""
+
+import pytest
+
+from repro.errors import NvmeQueueError, ProtocolError
+from repro.host.system import HostSystem
+from repro.nvme import (
+    NvmeCommand,
+    NvmeCompletion,
+    NvmeController,
+    NvmeOpcode,
+    NvmeStatus,
+    QueuePair,
+    SMART_LOG_PAGE,
+)
+from repro.ssd.models import by_name
+from repro.workload.checksum import TOKEN_ZERO, page_token
+
+
+def booted_host(seed=7, device=None):
+    config = by_name(device) if device else None
+    host = HostSystem(config, seed=seed)
+    host.boot()
+    return host
+
+
+class TestQueuePair:
+    def test_sq_push_raises_when_full(self):
+        qpair = QueuePair(1, depth=2)
+        for _ in range(2):
+            command = NvmeCommand(NvmeOpcode.WRITE)
+            qpair.assign_cid(command)
+            qpair.sq.push(command)
+        with pytest.raises(NvmeQueueError):
+            qpair.sq.push(NvmeCommand(NvmeOpcode.WRITE))
+
+    def test_cids_monotonic_never_reused(self):
+        qpair = QueuePair(1, depth=4)
+        cids = [qpair.assign_cid(NvmeCommand(NvmeOpcode.WRITE)) for _ in range(10)]
+        assert cids == sorted(cids)
+        assert len(set(cids)) == 10
+        assert cids[0] == 1
+
+    def test_cq_post_raises_on_overflow(self):
+        qpair = QueuePair(1, depth=1)
+        entry = NvmeCompletion(
+            cid=1, opcode=NvmeOpcode.WRITE, status=NvmeStatus.SUCCESS,
+            slba=0, nlb=1, complete_time=0,
+        )
+        qpair.cq.post(entry)
+        with pytest.raises(NvmeQueueError):
+            qpair.cq.post(entry)
+
+    def test_admission_reserves_cq_slots(self):
+        # can_admit() must count unreaped CQEs against the depth so the
+        # controller can never be forced to overflow the CQ.
+        qpair = QueuePair(1, depth=2)
+        entry = NvmeCompletion(
+            cid=1, opcode=NvmeOpcode.WRITE, status=NvmeStatus.SUCCESS,
+            slba=0, nlb=1, complete_time=0,
+        )
+        qpair.cq.post(entry)
+        qpair.outstanding[2] = NvmeCommand(NvmeOpcode.WRITE, cid=2)
+        assert not qpair.can_admit()
+        qpair.cq.reap()
+        assert qpair.can_admit()
+
+    def test_command_validation(self):
+        with pytest.raises(ProtocolError):
+            NvmeCommand(NvmeOpcode.WRITE, nlb=0)
+        with pytest.raises(ProtocolError):
+            NvmeCommand(NvmeOpcode.WRITE, slba=-1)
+        with pytest.raises(ProtocolError):
+            NvmeCommand(NvmeOpcode.WRITE, nlb=2, tokens=[1])
+        with pytest.raises(ProtocolError):
+            NvmeCommand(NvmeOpcode.FLUSH, tokens=[1])
+
+
+class TestControllerIo:
+    def test_write_read_round_trip(self):
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        qpair = ctrl.create_io_qpair(depth=8)
+        cid = ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=5, nlb=2))
+        ctrl.ring_doorbell(qpair)
+        host.run_for_ms(50)
+        ctrl.submit(qpair, NvmeCommand(NvmeOpcode.READ, slba=5, nlb=2))
+        ctrl.ring_doorbell(qpair)
+        host.run_for_ms(50)
+        completions = ctrl.reap(qpair)
+        assert [c.ok for c in completions] == [True, True]
+        write, read = completions
+        assert write.tokens is None
+        assert read.tokens == [page_token(cid, 0), page_token(cid, 1)]
+
+    def test_write_zeroes_carries_zero_tokens(self):
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        qpair = ctrl.create_io_qpair(depth=8)
+        ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=9, nlb=1))
+        ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE_ZEROES, slba=9, nlb=1))
+        ctrl.submit(qpair, NvmeCommand(NvmeOpcode.READ, slba=9, nlb=1))
+        ctrl.ring_doorbell(qpair)
+        host.run_for_ms(80)
+        completions = ctrl.reap(qpair)
+        assert all(c.ok for c in completions)
+        assert completions[-1].tokens == [TOKEN_ZERO]
+
+    def test_backlog_waits_for_reap(self):
+        # More submissions than depth: the excess sits in the SQ until the
+        # host reaps CQEs, and every command still completes exactly once.
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        qpair = ctrl.create_io_qpair(depth=4)
+        for i in range(4):
+            ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=i, nlb=1))
+        assert ctrl.ring_doorbell(qpair) == 4
+        for i in range(4, 8):
+            ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=i, nlb=1))
+        # All four device slots are taken: nothing more can be admitted
+        # until the host reaps, so the second batch parks in the SQ.
+        assert ctrl.ring_doorbell(qpair) == 0
+        assert len(qpair.sq) == 4
+        seen = []
+        for _ in range(10):
+            host.run_for_ms(20)
+            seen.extend(ctrl.reap(qpair))
+            if len(seen) == 8:
+                break
+        assert sorted(c.cid for c in seen) == list(range(1, 9))
+        assert qpair.completed_ok == 8
+
+    def test_power_fault_errors_inflight_and_backlog(self):
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        qpair = ctrl.create_io_qpair(depth=4)
+        for i in range(4):
+            ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=i, nlb=1))
+        ctrl.ring_doorbell(qpair)
+        for i in range(4, 8):
+            ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=i, nlb=1))
+        host.cut_power()
+        host.wait_until_dead()
+        aborted = ctrl.abort_backlog(qpair)
+        completions = ctrl.reap(qpair)
+        # The parked batch never reached the device: all error-completed.
+        assert len(aborted) == 4
+        assert {c.status for c in aborted} == {NvmeStatus.ABORTED_POWER_LOSS}
+        # Admitted commands either finished on residual energy or died with
+        # the power — but every single one completes exactly once.
+        assert {c.status for c in completions} <= {
+            NvmeStatus.SUCCESS,
+            NvmeStatus.ABORTED_POWER_LOSS,
+        }
+        assert len(aborted) + len(completions) == 8
+        assert sorted(c.cid for c in aborted + completions) == list(range(1, 9))
+        assert qpair.inflight == 0
+
+
+class TestAdminPath:
+    def test_health_log_counts_dirty_cycles(self):
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        before = ctrl.get_log_page(SMART_LOG_PAGE)
+        assert before.unsafe_shutdowns == 0
+        host.cut_power()
+        host.wait_until_dead()
+        host.run_for_ms(1000)
+        host.restore_power()
+        host.wait_until_ready()
+        after = ctrl.get_log_page_smart()
+        assert after.unsafe_shutdowns == before.unsafe_shutdowns + 1
+        assert after.power_cycles == before.power_cycles + 1
+        assert after.as_dict()["Unsafe_Shutdown_Ct"] == 1
+
+    def test_unknown_log_page_rejected(self):
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        with pytest.raises(NvmeQueueError):
+            ctrl.get_log_page(0x7F)
+
+    def test_clean_shutdown_not_counted_unsafe(self):
+        # CC.SHN: flush, arm, then power off — the SMART unsafe-shutdown
+        # counter must NOT move, and the next boot needs no recovery.
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        qpair = ctrl.create_io_qpair(depth=8)
+        ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=3, nlb=1))
+        ctrl.ring_doorbell(qpair)
+        host.run_for_ms(50)
+        ctrl.reap(qpair)
+        ctrl.shutdown_notify()
+        host.run_for_ms(200)  # let the FLUSH complete and arm the device
+        host.cut_power()
+        host.wait_until_dead()
+        host.run_for_ms(1000)
+        host.restore_power()
+        host.wait_until_ready()
+        health = ctrl.get_log_page_smart()
+        assert health.unsafe_shutdowns == 0
+        assert health.unexpected_power_losses == 0
+        assert health.power_cycles == 2
+
+    def test_new_submission_disarms_clean_shutdown(self):
+        host = booted_host()
+        ctrl = NvmeController(host.ssd)
+        qpair = ctrl.create_io_qpair(depth=8)
+        ctrl.shutdown_notify()
+        host.run_for_ms(200)
+        # A write after the notification voids it: the shutdown is dirty.
+        ctrl.submit(qpair, NvmeCommand(NvmeOpcode.WRITE, slba=0, nlb=1))
+        ctrl.ring_doorbell(qpair)
+        host.run_for_ms(50)
+        host.cut_power()
+        host.wait_until_dead()
+        host.run_for_ms(1000)
+        host.restore_power()
+        host.wait_until_ready()
+        assert ctrl.get_log_page_smart().unsafe_shutdowns == 1
+
+    def test_identify_reports_device_config(self):
+        host = booted_host(device="ssd-enterprise-plp")
+        ctrl = NvmeController(host.ssd)
+        info = ctrl.identify()
+        assert info["model"] == "ssd-enterprise-plp"
+        assert info["power_loss_protection"] is True

@@ -38,6 +38,8 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.fs",
     "repro.raid",
+    "repro.nvme",
+    "repro.stress",
 ]
 
 
@@ -69,6 +71,7 @@ DOCTEST_MODULES = [
     "repro.workload.spec",
     "repro.analysis.stats",
     "repro.analysis.report",
+    "repro.nvme.controller",
 ]
 
 
