@@ -1,0 +1,123 @@
+"""Cache-topology fault campaigns: WB vs WT vs mirrored-WB as a perf family.
+
+Not a figure from the paper — this regenerates the enterprise scenario of
+Ahmadian et al.'s follow-up (PAPERS.md, arXiv:1912.01555) on this repo's
+platform: an SSD cache tier in front of a durable backing store, power
+faults injected against the *topology* (see ``repro.topology``), every
+acknowledged host write classified device-intact / topology-recovered /
+application-visible loss.  Three configurations under identical fault
+schedules:
+
+- ``wt``        — write-through, single cache leg, shared PDU;
+- ``wb``        — write-back, single cache leg, shared PDU;
+- ``wb-mirror`` — write-back, mirrored cache legs on independent rails.
+
+Shape asserts encode the headline contrast: write-through never loses an
+acknowledged write, write-back converts device-level FWA into
+application-visible loss, and mirrored cache legs on independent power
+rails recover every device-level FWA.
+"""
+
+from _common import fault_budget, print_banner, run_engine_plan, BENCH_SHARD_FAULTS
+
+from repro.analysis import ascii_table
+from repro.ftl import FtlConfig
+from repro.ssd.device import SsdConfig
+from repro.topology import TopologyPlan
+from repro.units import GIB, KIB, MSEC
+from repro.workload.spec import WorkloadSpec
+
+BASE_SEED = 7
+
+CONFIGS = {
+    "wt": dict(policy="wt", mirror_cache=False, shared_power=True),
+    "wb": dict(policy="wb", mirror_cache=False, shared_power=True),
+    "wb-mirror": dict(policy="wb", mirror_cache=True, shared_power=False),
+}
+
+
+def cache_leg_config():
+    """A hostile cache-leg device: long journal commit, no lucky recovery.
+
+    The same deliberately-weak FTL the mirror tests use — it makes the
+    device-level FWA signal deterministic so the topology contrast is about
+    *where redundancy lives*, not about FTL recovery luck.
+    """
+    return SsdConfig(
+        name="cache-leg",
+        capacity_bytes=2 * GIB,
+        init_time_us=50 * MSEC,
+        ftl=FtlConfig(
+            journal_commit_interval_us=10_000 * MSEC,
+            page_recovery_prob=0.0,
+            extent_recovery_prob=0.0,
+        ),
+    )
+
+
+def regenerate_cache_topology():
+    cycles = max(3, fault_budget("cache_topology"))
+    spec = WorkloadSpec(
+        wss_bytes=1 * GIB,
+        read_fraction=0.0,
+        size_min_bytes=4 * KIB,
+        size_max_bytes=64 * KIB,
+    )
+    results = {}
+    for label, knobs in CONFIGS.items():
+        plan = TopologyPlan(
+            spec=spec,
+            faults=cycles,
+            device=cache_leg_config(),
+            base_seed=BASE_SEED,
+            label=f"cache_topology {label}",
+            shard_faults=min(BENCH_SHARD_FAULTS, cycles),
+            **knobs,
+        )
+        results[label] = run_engine_plan(plan)
+    return results
+
+
+def test_cache_topology(benchmark):
+    results = benchmark.pedantic(regenerate_cache_topology, rounds=1, iterations=1)
+
+    print_banner(
+        "Cache topologies: WB vs WT vs mirrored-WB under identical faults",
+        ["wt_zero_app_loss", "wb_mirror_recovers_all_fwa"],
+    )
+    print(
+        ascii_table(
+            ["topology", "acked", "intact", "recovered", "app loss", "IO errors"],
+            [
+                [
+                    label,
+                    r.requests_completed,
+                    r.intact_writes,
+                    r.topology_recovered,
+                    r.fwa_failures,
+                    r.io_errors,
+                ]
+                for label, r in results.items()
+            ],
+        )
+    )
+
+    # Every acked write is classified, cycle by cycle: the audit partition
+    # (intact | topology-recovered | app-visible loss) covers the acked set.
+    for result in results.values():
+        for cycle in result.cycles:
+            assert (
+                cycle.intact_writes + cycle.topology_recovered + cycle.fwa_failures
+                == cycle.writes_completed
+            ), cycle
+    # Write-through: the ACK waits for the durable tier, so a cache-tier
+    # fault can never lose an acknowledged write.
+    assert results["wt"].fwa_failures == 0
+    # Write-back on a shared PDU: device-level FWA in the cache leg becomes
+    # application-visible loss (the enterprise failure mode).
+    assert results["wb"].fwa_failures > 0
+    # Mirrored cache legs on independent rails: device-level FWAs still
+    # happen (the faulted leg loses its copy) but the topology recovers
+    # every one from the surviving leg or the backing store.
+    assert results["wb-mirror"].topology_recovered > 0
+    assert results["wb-mirror"].fwa_failures == 0

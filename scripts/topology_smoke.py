@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""End-to-end cache-topology smoke test (used by CI).
+
+Two legs:
+
+A. **WB-vs-WT contrast** — the headline claim of the topology subsystem,
+   on the weak ``ssd-c`` preset so device-level FWA is plentiful:
+
+   - write-through, shared PDU: zero application-visible loss (the ACK
+     waits for the durable tier);
+   - write-back, shared PDU: nonzero application-visible loss (acked
+     dirty pages existed nowhere durable when the rack section died);
+   - write-back, mirrored legs on independent rails: zero
+     application-visible loss *and* nonzero topology-recovered writes
+     (device FWAs still happen; the surviving leg covers every one).
+
+B. **Determinism + crash safety** — a checkpointed jobs=1 run of the
+   mirrored-WB campaign is SIGTERMed mid-flight and resumed; its summary
+   table must be byte-identical to an uninterrupted jobs=4 run.
+
+The engine trace of leg B is written to ``TOPOLOGY_SMOKE_ARTIFACT_DIR``
+when set (CI uploads it as an artifact).
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/topology_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ARTIFACT_DIR_ENV = "TOPOLOGY_SMOKE_ARTIFACT_DIR"
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+
+CONTRAST_ARGS = [
+    "--device", "ssd-c",
+    "--faults", "3",
+    "--seed", "7",
+]
+
+ACCEPTANCE_ARGS = [
+    "topology", "run",
+    "--policy", "wb",
+    "--mirror-cache",
+    "--device", "ssd-c",
+    "--faults", "6",
+    "--shard-cycles", "1",
+    "--seed", "11",
+    "--outstanding", "8",
+]
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(args, env):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+
+
+def summary_table(stdout):
+    return [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.startswith("running ")
+    ]
+
+
+def summary_value(stdout, column):
+    """Pull one column's value out of the rendered summary table."""
+    lines = stdout.splitlines()
+    for index, line in enumerate(lines):
+        cells = [c.strip() for c in line.split("|")]
+        if column in cells:
+            values = [c.strip() for c in lines[index + 2].split("|")]
+            return values[cells.index(column)]
+    raise AssertionError(f"column {column!r} not found in output:\n{stdout}")
+
+
+def leg_policy_contrast(env):
+    """Leg A: WT zero loss, WB nonzero loss, mirrored-WB zero loss again."""
+    wt = run_cli(
+        ["topology", "run", "--policy", "wt", "--shared-power", *CONTRAST_ARGS],
+        env,
+    )
+    if wt.returncode != 0:
+        print(f"FAIL: WT leg exited {wt.returncode}\n{wt.stderr}")
+        return False
+    loss = summary_value(wt.stdout, "app_visible_loss")
+    if loss != "0":
+        print(f"FAIL: WT lost acked writes (app_visible_loss = {loss})")
+        return False
+    print("leg A ok: write-through, shared PDU, zero app-visible loss")
+
+    wb = run_cli(
+        ["topology", "run", "--policy", "wb", "--shared-power", *CONTRAST_ARGS],
+        env,
+    )
+    if wb.returncode != 0:
+        print(f"FAIL: WB leg exited {wb.returncode}\n{wb.stderr}")
+        return False
+    loss = summary_value(wb.stdout, "app_visible_loss")
+    if int(loss) <= 0:
+        print("FAIL: WB on a shared PDU shows no app-visible loss")
+        return False
+    print(f"leg A ok: write-back, shared PDU, {loss} acked writes lost")
+
+    mirror = run_cli(
+        ["topology", "run", "--policy", "wb", "--mirror-cache", *CONTRAST_ARGS],
+        env,
+    )
+    if mirror.returncode != 0:
+        print(f"FAIL: mirrored leg exited {mirror.returncode}\n{mirror.stderr}")
+        return False
+    loss = summary_value(mirror.stdout, "app_visible_loss")
+    recovered = summary_value(mirror.stdout, "topology_recovered")
+    if loss != "0":
+        print(f"FAIL: mirrored WB lost acked writes (app_visible_loss = {loss})")
+        return False
+    if int(recovered) <= 0:
+        print("FAIL: mirrored WB shows no topology-recovered writes")
+        return False
+    print(
+        f"leg A ok: mirrored write-back, split rails, {recovered} device FWAs "
+        "recovered, zero app-visible loss"
+    )
+    return True
+
+
+def leg_interrupt_resume(env, artifact_dir):
+    """Leg B: SIGTERM + --resume vs uninterrupted jobs=4, byte-identical."""
+    checkpoint = artifact_dir / "ck.jsonl"
+    trace = artifact_dir / "topology.trace.jsonl"
+
+    slow_env = dict(env)
+    slow_env[FAULT_ENV] = "slow:*:*:0.8"  # widen the interrupt window
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *ACCEPTANCE_ARGS,
+         "--jobs", "1", "--checkpoint", str(checkpoint),
+         "--trace", str(trace)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=slow_env,
+    )
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline and proc.poll() is None:
+        if checkpoint.exists() and checkpoint.stat().st_size > 0:
+            break
+        time.sleep(0.1)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        _, err = proc.communicate(timeout=300)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        print("FAIL: interrupted topology run did not exit after SIGTERM")
+        return False
+
+    if proc.returncode == 130:
+        print(f"interrupted mid-run (exit 130): {err.strip().splitlines()[-1]}")
+    elif proc.returncode == 0:
+        print("topology run finished before the signal landed; resume is a no-op run")
+    else:
+        print(f"FAIL: unexpected exit {proc.returncode}\n{err}")
+        return False
+
+    resumed = run_cli(
+        ACCEPTANCE_ARGS + ["--jobs", "1", "--checkpoint", str(checkpoint),
+                           "--resume"],
+        env,
+    )
+    if resumed.returncode != 0:
+        print(f"FAIL: resume exited {resumed.returncode}\n{resumed.stderr}")
+        return False
+    print(f"resume: {resumed.stderr.strip() or '(no shards needed resuming)'}")
+
+    parallel = run_cli(ACCEPTANCE_ARGS + ["--jobs", "4"], env)
+    if parallel.returncode != 0:
+        print(f"FAIL: jobs=4 run exited {parallel.returncode}\n{parallel.stderr}")
+        return False
+
+    if summary_table(resumed.stdout) != summary_table(parallel.stdout):
+        print("FAIL: resumed jobs=1 summary differs from uninterrupted jobs=4")
+        print("--- resumed jobs=1 ---")
+        print(resumed.stdout)
+        print("--- jobs=4 ---")
+        print(parallel.stdout)
+        return False
+    print("leg B ok: SIGTERM + --resume matches uninterrupted jobs=4 exactly")
+
+    loss = summary_value(parallel.stdout, "app_visible_loss")
+    if loss != "0":
+        print(f"FAIL: mirrored-WB acceptance run lost writes ({loss})")
+        return False
+    unsafe = summary_value(parallel.stdout, "unsafe_shutdowns")
+    if unsafe != "6":
+        print(f"FAIL: unsafe_shutdowns = {unsafe}, expected 6 (one per fault)")
+        return False
+    print(f"leg B ok: {unsafe} unsafe shutdowns for 6 faults, zero loss")
+    return True
+
+
+def main():
+    env = cli_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_dir = Path(os.environ.get(ARTIFACT_DIR_ENV) or tmp)
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        if not leg_policy_contrast(env):
+            return 1
+        if not leg_interrupt_resume(env, artifact_dir):
+            return 1
+    print("OK: cache-topology subsystem verified end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

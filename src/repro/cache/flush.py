@@ -46,5 +46,13 @@ class FlushPolicy:
             raise ConfigurationError("max_dirty_pages must be >= batch_pages")
 
     def throttled(self, dirty_pages: int, incoming_pages: int) -> bool:
-        """True when a write of ``incoming_pages`` must stall for drain."""
+        """True when a write of ``incoming_pages`` must stall for drain.
+
+        A write larger than ``max_dirty_pages`` can never satisfy the sum
+        condition, so it is admitted once the cache has fully drained —
+        otherwise a single oversized command would stall forever against a
+        throttle it can never clear.
+        """
+        if incoming_pages > self.max_dirty_pages:
+            return dirty_pages > 0
         return dirty_pages + incoming_pages > self.max_dirty_pages

@@ -34,19 +34,41 @@ class SupercapBackup:
             raise ConfigurationError("supercap hold time must be positive")
 
     def can_destage(self, dirty_pages: int, page_write_us: int, parallelism: int) -> bool:
-        """Whether the full dirty set fits in the energy budget."""
-        return self.destage_time_us(dirty_pages, page_write_us, parallelism) <= self.hold_time_us
+        """Whether the full dirty set fits in the energy budget.
+
+        Exactly ``dirty_pages <= destageable_pages(...)``: both sides are
+        derived from the same whole-round count, so the two views of the
+        budget agree at the boundary by construction.
+        """
+        if dirty_pages < 0:
+            raise ConfigurationError("invalid destage parameters")
+        return dirty_pages <= self.destageable_pages(page_write_us, parallelism)
 
     def destage_time_us(self, dirty_pages: int, page_write_us: int, parallelism: int) -> int:
         """Time to flush ``dirty_pages`` with ``parallelism`` concurrent programs."""
-        if dirty_pages < 0 or page_write_us <= 0 or parallelism <= 0:
+        if dirty_pages < 0:
             raise ConfigurationError("invalid destage parameters")
+        self._check_rate(page_write_us, parallelism)
         rounds = -(-dirty_pages // parallelism)
         return rounds * page_write_us
 
     def destageable_pages(self, page_write_us: int, parallelism: int) -> int:
-        """How many pages fit in the budget (partial destage on overrun)."""
+        """How many pages fit in the budget (partial destage on overrun).
+
+        ``parallelism`` pages per whole ``page_write_us`` round: a round
+        that does not fully fit in the hold time saves nothing, so only
+        ``hold_time_us // page_write_us`` rounds count.
+        """
+        return self._whole_rounds(page_write_us, parallelism) * parallelism
+
+    def _whole_rounds(self, page_write_us: int, parallelism: int) -> int:
+        """Complete destage rounds the energy budget covers — the single
+        arithmetic source both :meth:`can_destage` and
+        :meth:`destageable_pages` are defined in terms of."""
+        self._check_rate(page_write_us, parallelism)
+        return self.hold_time_us // page_write_us
+
+    @staticmethod
+    def _check_rate(page_write_us: int, parallelism: int) -> None:
         if page_write_us <= 0 or parallelism <= 0:
             raise ConfigurationError("invalid destage parameters")
-        rounds = self.hold_time_us // page_write_us
-        return rounds * parallelism

@@ -12,6 +12,7 @@ Usage (installed or via ``python -m repro``)::
     python -m repro post-ack --intervals 50,250,450,800
     python -m repro smart --device ssd-b --faults 3
     python -m repro stress dirty-cycle --repeat 25 --seed 7
+    python -m repro topology run --policy wb --mirror-cache
     python -m repro trace report run.trace.jsonl
     python -m repro trace report --follow run.trace.jsonl   # live dashboard
     python -m repro checkpoint compact run.ck.jsonl
@@ -230,6 +231,79 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print engine shard telemetry to stderr"
     )
     _add_fault_tolerance_flags(dirty)
+
+    topology = sub.add_parser(
+        "topology",
+        help="fault campaigns against cache topologies (SSD cache + backing store)",
+    )
+    topology_sub = topology.add_subparsers(dest="topology_command", required=True)
+    topo_run = topology_sub.add_parser(
+        "run",
+        help=(
+            "repeated power faults against an SSD cache tier in front of a "
+            "durable backing store; every acked host write is classified "
+            "device-intact / topology-recovered / application-visible loss"
+        ),
+    )
+    topo_run.add_argument(
+        "--policy",
+        choices=["wb", "wt", "wa"],
+        default="wb",
+        help="cache policy: write-back, write-through, or write-around",
+    )
+    topo_run.add_argument(
+        "--mirror-cache",
+        action="store_true",
+        help="mirror the cache tier across two legs (RAID-1 MirrorPair)",
+    )
+    topo_run.add_argument(
+        "--shared-power",
+        action="store_true",
+        help=(
+            "one PDU for cache legs and backing store (default: independent "
+            "rails; faults rotate across cache legs, backing never faults)"
+        ),
+    )
+    topo_run.add_argument("--device", default="ssd-a", help="cache-leg device preset")
+    topo_run.add_argument("--faults", type=int, default=6, help="power-fault cycles")
+    topo_run.add_argument("--seed", type=int, default=1)
+    topo_run.add_argument("--wss-gib", type=int, default=1)
+    topo_run.add_argument("--size-min-kib", type=int, default=4)
+    topo_run.add_argument("--size-max-kib", type=int, default=64)
+    topo_run.add_argument(
+        "--outstanding", type=int, default=32, help="closed-loop host writes in flight"
+    )
+    topo_run.add_argument(
+        "--destage-batch",
+        type=int,
+        default=64,
+        metavar="PAGES",
+        help="WB destage batch size (FlushPolicy.batch_pages)",
+    )
+    topo_run.add_argument(
+        "--max-dirty",
+        type=int,
+        default=256,
+        metavar="PAGES",
+        help="WB admission throttle (FlushPolicy.max_dirty_pages)",
+    )
+    topo_run.add_argument("--per-cycle", action="store_true", help="print per-cycle rows")
+    topo_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (shard plan is fixed, so results match any job count)",
+    )
+    topo_run.add_argument(
+        "--shard-cycles",
+        type=int,
+        default=DEFAULT_SHARD_FAULTS,
+        help="max fault cycles per engine shard (determines available parallelism)",
+    )
+    topo_run.add_argument(
+        "--progress", action="store_true", help="print engine shard telemetry to stderr"
+    )
+    _add_fault_tolerance_flags(topo_run)
 
     fleet = sub.add_parser(
         "fleet", help="run the Table I population (six units) and rank by loss"
@@ -580,6 +654,80 @@ def _cmd_stress_dirty_cycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_topology_run(args: argparse.Namespace) -> int:
+    from repro.cache.flush import FlushPolicy
+    from repro.topology import TopologyPlan
+    from repro.units import KIB as _KIB
+
+    spec = WorkloadSpec(
+        wss_bytes=args.wss_gib * GIB,
+        read_fraction=0.0,
+        size_min_bytes=args.size_min_kib * _KIB,
+        size_max_bytes=args.size_max_kib * _KIB,
+        outstanding=args.outstanding,
+    )
+    plan = TopologyPlan(
+        spec=spec,
+        faults=args.faults,
+        device=models.by_name(args.device),
+        base_seed=args.seed,
+        shard_faults=args.shard_cycles,
+        policy=args.policy,
+        mirror_cache=args.mirror_cache,
+        shared_power=args.shared_power,
+        destage=FlushPolicy(
+            batch_pages=args.destage_batch, max_dirty_pages=args.max_dirty
+        ),
+    )
+    print(
+        f"running {args.faults} topology faults against {plan.display_label()} "
+        f"({plan.shard_count()} shards, jobs={args.jobs}) ..."
+    )
+    tracer = TraceWriter(args.trace) if args.trace else None
+    progress = fanout_hooks(ConsoleProgress() if args.progress else None, tracer)
+    try:
+        result = run_plan(
+            plan, jobs=args.jobs, progress=progress, **_engine_kwargs(args)
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.per_cycle:
+        print(
+            ascii_table(
+                ["cycle", "acked", "intact", "recovered", "app loss", "IO err", "unsafe"],
+                [
+                    [
+                        c.cycle_index,
+                        c.writes_completed,
+                        c.intact_writes,
+                        c.topology_recovered,
+                        c.fwa_failures,
+                        c.io_errors,
+                        c.unsafe_shutdowns,
+                    ]
+                    for c in result.cycles
+                ],
+            )
+        )
+    summary = dict(result.summary())
+    summary["intact_writes"] = result.intact_writes
+    summary["topology_recovered"] = result.topology_recovered
+    summary["app_visible_loss"] = result.fwa_failures
+    summary["unsafe_shutdowns"] = result.unsafe_shutdowns
+    print(
+        ascii_table(
+            list(summary.keys()),
+            [list(summary.values())],
+            title="topology summary",
+        )
+    )
+    _report_execution(result)
+    if result.execution.shards_quarantined and not args.quarantine:
+        return 1
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core.fleet import merge_by_model, rank_by_loss, run_fleet
 
@@ -816,6 +964,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_smart(args)
     if args.command == "stress":
         return _cmd_stress_dirty_cycle(args)
+    if args.command == "topology":
+        return _cmd_topology_run(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
     if args.command == "worker":

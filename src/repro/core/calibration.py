@@ -86,6 +86,22 @@ ANCHORS: Dict[str, Anchor] = {
         "Unsafe Shutdowns field by exactly one (qualification-rig invariant)",
         "repro.ssd.device unsafe_shutdowns counter + repro.stress SMART audit",
     ),
+    "wt_zero_app_loss": Anchor(
+        0,
+        "writes/campaign",
+        "Ahmadian et al. (arXiv:1912.01555): a write-through cache "
+        "acknowledges only after the durable tier commits, so cache-tier "
+        "power faults cannot lose acknowledged writes",
+        "repro.topology audit: WT campaigns must report zero app-visible loss",
+    ),
+    "wb_mirror_recovers_all_fwa": Anchor(
+        0,
+        "writes/campaign",
+        "Ahmadian et al. (arXiv:1912.01555): mirrored write-back cache legs "
+        "on independent power rails keep a surviving copy of every acked "
+        "write a faulted leg loses",
+        "repro.topology audit: device FWAs classify topology-recovered, not lost",
+    ),
 }
 
 
@@ -114,6 +130,7 @@ PAPER_FAULTS = {
     "fig9_sequences": 300,
     "sec4d_pattern": 300,
     "dirty_cycle": 300,
+    "cache_topology": 300,
 }
 """Fault counts the paper reports per experiment family."""
 

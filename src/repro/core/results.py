@@ -26,6 +26,7 @@ class FaultCycleResult:
     supercap_pages_saved: int = 0
     unsafe_shutdowns: int = 0
     intact_writes: int = 0
+    topology_recovered: int = 0
 
     @property
     def total_data_loss(self) -> int:
@@ -166,6 +167,12 @@ class CampaignResult:
     def intact_writes(self) -> int:
         """Acked writes verified intact across all cycles (stress runs)."""
         return sum(c.intact_writes for c in self.cycles)
+
+    @property
+    def topology_recovered(self) -> int:
+        """Acked writes that lost their device copy but were recovered by
+        topology redundancy (mirror leg / backing store) — topology runs."""
+        return sum(c.topology_recovered for c in self.cycles)
 
     # -- rates ------------------------------------------------------------------------
 

@@ -28,6 +28,17 @@ from repro.host.block_layer import BlockLayer
 from repro.units import SEC
 
 
+def _contiguous_runs(offsets: List[int]):
+    """Group sorted page offsets into ``(start, length)`` runs."""
+    start = prev = offsets[0]
+    for offset in offsets[1:]:
+        if offset != prev + 1:
+            yield start, prev - start + 1
+            start = offset
+        prev = offset
+    yield start, prev - start + 1
+
+
 @dataclass
 class MirrorReadResult:
     """Outcome of a verified mirror read."""
@@ -75,11 +86,24 @@ class MirrorPair:
         config: Optional[SsdConfig] = None,
         shared_power: bool = True,
         seed: int = 0,
+        kernel: Optional[Kernel] = None,
+        power: Optional[PowerController] = None,
     ) -> None:
-        self.kernel = Kernel()
+        """``kernel`` embeds the pair in an existing simulation (topology
+        stacks); ``power`` wires both legs to an external shared controller
+        (e.g. a rack PDU also feeding other tiers) and implies
+        ``shared_power=True``."""
+        if power is not None and not shared_power:
+            raise ConfigurationError(
+                "an external shared power controller implies shared_power=True"
+            )
+        self.kernel = kernel if kernel is not None else Kernel()
         self.shared_power = shared_power
         config = config or SsdConfig()
-        shared = PowerController(self.kernel) if shared_power else None
+        if power is not None:
+            shared: Optional[PowerController] = power
+        else:
+            shared = PowerController(self.kernel) if shared_power else None
         self.replicas: Tuple[_Replica, _Replica] = (
             _Replica(self.kernel, config, seed, "mirror-a", power=shared),
             _Replica(self.kernel, config, seed + 1, "mirror-b", power=shared),
@@ -87,6 +111,7 @@ class MirrorPair:
         # Statistics.
         self.writes_submitted = 0
         self.repairs = 0
+        self.repaired_pages = 0
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -153,6 +178,16 @@ class MirrorPair:
             tokens.append(token)
         return tokens
 
+    def _peek_replica_raw(self, replica: _Replica, lpn: int, count: int) -> List[int]:
+        """Per-page view for repair targeting: corrupt pages surface as the
+        corrupt token (-1) instead of poisoning the whole span, so a repair
+        can rewrite exactly the pages that deviate."""
+        tokens = []
+        for offset in range(count):
+            token = replica.ssd.peek(lpn + offset)
+            tokens.append(0 if token is None else token)
+        return tokens
+
     def read_verified(self, lpn: int, count: int, expected: Optional[List[int]] = None) -> MirrorReadResult:
         """Read both replicas, compare, optionally repair.
 
@@ -174,13 +209,25 @@ class MirrorPair:
         repaired = 0
         if chosen is not None:
             for replica, view in zip(self.replicas, views):
-                if view != chosen and replica.ssd.is_ready:
+                if view == chosen or not replica.ssd.is_ready:
+                    continue
+                raw = self._peek_replica_raw(replica, lpn, count)
+                deviating = [
+                    offset for offset in range(count) if raw[offset] != chosen[offset]
+                ]
+                if not deviating:
+                    continue
+                for start, length in _contiguous_runs(deviating):
                     request = BlockRequest(
-                        lpn=lpn, page_count=count, is_write=True, tokens=list(chosen)
+                        lpn=lpn + start,
+                        page_count=length,
+                        is_write=True,
+                        tokens=list(chosen[start : start + length]),
                     )
                     replica.block.submit(request)
-                    repaired += count
-                    self.repairs += 1
+                repaired += len(deviating)
+                self.repairs += 1
+        self.repaired_pages += repaired
         return MirrorReadResult(
             tokens=chosen,
             healthy_replicas=len(healthy),

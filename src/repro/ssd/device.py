@@ -342,9 +342,9 @@ class SsdDevice:
             yield config.interface_overhead_us + transfer
             if command.op is CommandOp.WRITE:
                 if config.write_back:
-                    # Admission throttle; a request larger than the whole
-                    # budget is admitted once the cache is empty.
-                    while self.cache.dirty_count > 0 and self.config.flush.throttled(
+                    # Admission throttle (oversized requests admit once the
+                    # cache drains — see FlushPolicy.throttled).
+                    while self.config.flush.throttled(
                         self.cache.dirty_count, command.page_count
                     ):
                         self._dirty.fire()

@@ -54,7 +54,14 @@ def _canonical(payload: Dict) -> str:
 
 
 def encode_record(payload: Dict) -> str:
-    """Canonical JSON line with an appended CRC32 field."""
+    """Canonical JSON line with an appended CRC32 field.
+
+    ``crc`` is the codec's own reserved field: a payload carrying one
+    would be silently clobbered on encode and then fail its checksum on
+    decode, so it is rejected loudly here instead.
+    """
+    if "crc" in payload:
+        raise CmdlogError("payload key 'crc' is reserved for the line codec")
     crc = zlib.crc32(_canonical(payload).encode("utf-8"))
     record = dict(payload)
     record["crc"] = crc

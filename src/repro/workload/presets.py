@@ -137,6 +137,24 @@ def dirty_cycle_stress(wss_gib: int = 4) -> Dict[str, WorkloadSpec]:
     }
 
 
+def cache_topology_stress(wss_gib: int = 1) -> Dict[str, WorkloadSpec]:
+    """Cache-topology fault campaigns (extension, not a paper figure).
+
+    Closed-loop pure-write traffic against the cache tier:
+    :class:`~repro.topology.plan.TopologyPlan` requires write-only
+    closed-loop specs (the audit reasons about acknowledged writes, and
+    pacing comes from ``outstanding``).
+    """
+    return {
+        "host-writes": WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+            size_min_bytes=4 * KIB,
+            size_max_bytes=64 * KIB,
+        ),
+    }
+
+
 ALL_FAMILIES = {
     "fig5_request_type": request_type_sweep,
     "fig6_wss": wss_sweep,
@@ -145,5 +163,6 @@ ALL_FAMILIES = {
     "fig8_iops": iops_sweep,
     "fig9_sequences": sequence_sweep,
     "dirty_cycle": dirty_cycle_stress,
+    "cache_topology": cache_topology_stress,
 }
 """Experiment family -> sweep builder, keyed like the calibration registry."""

@@ -122,6 +122,29 @@ class TestFlushPolicy:
         with pytest.raises(ConfigurationError):
             FlushPolicy(batch_pages=64, max_dirty_pages=32)
 
+    def test_oversized_write_admits_against_empty_cache(self):
+        # Regression: a write larger than max_dirty_pages used to satisfy
+        # `dirty + incoming > max` forever — even against a fully drained
+        # cache — deadlocking the host on a single oversized command.
+        policy = FlushPolicy(batch_pages=8, max_dirty_pages=64)
+        assert not policy.throttled(0, 65)
+        assert not policy.throttled(0, 10_000)
+        # With anything still dirty, the oversized write waits for drain.
+        assert policy.throttled(1, 65)
+        assert policy.throttled(64, 65)
+
+    @given(
+        dirty=st.integers(0, 512),
+        incoming=st.integers(1, 512),
+        max_dirty=st.integers(8, 256),
+    )
+    def test_property_throttle_always_clears(self, dirty, incoming, max_dirty):
+        """Every throttled write becomes admissible once the cache drains."""
+        policy = FlushPolicy(batch_pages=8, max_dirty_pages=max_dirty)
+        assert not policy.throttled(0, incoming)
+        if policy.throttled(dirty, incoming):
+            assert dirty > 0
+
 
 class TestSupercap:
     def test_destage_time(self):
@@ -146,3 +169,36 @@ class TestSupercap:
             cap.destage_time_us(-1, 1000, 8)
         with pytest.raises(ConfigurationError):
             cap.destageable_pages(0, 8)
+        with pytest.raises(ConfigurationError):
+            cap.can_destage(-1, 1000, 8)
+
+    def test_boundary_agreement(self):
+        # The two views of the energy budget must agree exactly at the
+        # boundary: the last destageable page fits, one more does not, and
+        # the destage-time view says the same thing.
+        cap = SupercapBackup(hold_time_us=10 * MSEC)
+        limit = cap.destageable_pages(page_write_us=1000, parallelism=8)
+        assert cap.can_destage(limit, 1000, 8)
+        assert not cap.can_destage(limit + 1, 1000, 8)
+        assert cap.destage_time_us(limit, 1000, 8) <= cap.hold_time_us
+        assert cap.destage_time_us(limit + 1, 1000, 8) > cap.hold_time_us
+
+    @given(
+        hold=st.integers(1, 200_000),
+        pages=st.integers(0, 4096),
+        page_write=st.integers(1, 50_000),
+        parallelism=st.integers(1, 64),
+    )
+    def test_property_can_destage_iff_within_destageable(
+        self, hold, pages, page_write, parallelism
+    ):
+        """``can_destage(n) ⇔ n <= destageable_pages(...)`` for all inputs,
+        including the partial-final-round boundary, and both agree with the
+        destage-time budget check."""
+        cap = SupercapBackup(hold_time_us=hold)
+        limit = cap.destageable_pages(page_write, parallelism)
+        fits = cap.can_destage(pages, page_write, parallelism)
+        assert fits == (pages <= limit)
+        assert fits == (
+            cap.destage_time_us(pages, page_write, parallelism) <= hold
+        )

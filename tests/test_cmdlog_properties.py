@@ -33,7 +33,7 @@ counters = st.integers(min_value=0, max_value=2**53)
 # is fair game for values; keys stay printable for readability of logs.
 keys = st.text(
     alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=8
-)
+).filter(lambda k: k != "crc")  # reserved for the line codec (rejected loudly)
 
 sub_records = st.fixed_dictionaries(
     {
@@ -112,6 +112,13 @@ class TestLineCodec:
         # still mismatches, because the payload didn't change.
         with pytest.raises(CmdlogError):
             decode_record(damaged)
+
+    def test_reserved_crc_key_rejected(self):
+        # A payload carrying the codec's own checksum field would be
+        # silently clobbered and could never round-trip — refuse it at
+        # encode time instead of corrupting on decode.
+        with pytest.raises(CmdlogError, match="reserved"):
+            encode_record({"crc": None})
 
     @given(st.text(max_size=40))
     def test_garbage_lines_never_crash_differently(self, garbage):

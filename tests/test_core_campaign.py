@@ -155,12 +155,16 @@ class TestCalibrationRegistry:
         for name, anchor in calibration.ANCHORS.items():
             assert anchor.paper_anchor, name
             assert anchor.consumer, name
-            assert anchor.value > 0
+            # Zero is a legitimate anchor *value* (the topology zero-loss
+            # claims); negative would mean an unset/garbage constant.
+            assert anchor.value >= 0, name
 
     def test_key_anchor_values(self):
         assert calibration.ANCHORS["detach_voltage"].value == 4.5
         assert calibration.ANCHORS["post_ack_window_ms"].value == 700
         assert calibration.ANCHORS["responded_iops_saturation"].value == 6900
+        assert calibration.ANCHORS["wt_zero_app_loss"].value == 0
+        assert calibration.ANCHORS["wb_mirror_recovers_all_fwa"].value == 0
 
     def test_scaled_faults(self):
         assert calibration.scaled_faults(300, 1.0) == 300

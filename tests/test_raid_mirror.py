@@ -100,6 +100,33 @@ class TestPowerDomains:
         assert after.healthy_replicas == 2
         assert mirror.repairs >= 1
 
+    def test_repair_counts_only_deviating_pages(self):
+        # Regression: read_verified used to charge the whole read span to
+        # the repair accounting (`repaired += count`) even when only one
+        # page in the span deviated.  Damage exactly one page of a 4-page
+        # span on one replica and verify the accounting is per-page.
+        mirror = MirrorPair(config=small_config(), shared_power=False, seed=21)
+        mirror.boot()
+        mirror.write(10, [1, 2, 3, 4])
+        mirror.flush()
+        mirror.run_for_ms(100)
+        # Overwrite one page on replica 0 only, behind the mirror's back.
+        from repro.host.block_layer import BlockRequest
+
+        rogue = BlockRequest(lpn=11, page_count=1, is_write=True, tokens=[99])
+        mirror.replicas[0].block.submit(rogue)
+        mirror.run_for_ms(100)
+
+        result = mirror.read_verified(10, 4, expected=[1, 2, 3, 4])
+        assert result.tokens == [1, 2, 3, 4]
+        assert result.repaired_pages == 1  # pre-fix: 4 (the whole span)
+        assert mirror.repairs == 1
+        assert mirror.repaired_pages == 1
+        mirror.run_for_ms(100)
+        after = mirror.read_verified(10, 4, expected=[1, 2, 3, 4])
+        assert after.healthy_replicas == 2
+        assert after.repaired_pages == 0
+
     def test_shared_power_uses_one_psu(self):
         mirror = MirrorPair(config=small_config(), shared_power=True, seed=12)
         assert mirror.replicas[0].power is mirror.replicas[1].power
