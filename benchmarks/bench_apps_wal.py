@@ -1,0 +1,119 @@
+"""WAL application campaign as a perf family: fsync vs no-fsync contrast.
+
+Not a figure from the paper — this runs the application-level fault
+propagation harness (see ``repro.apps``): a write-ahead-log database doing
+transactions against the journaling filesystem on a *hostile* device (map
+journal only commits at FLUSH, zero recovery luck), power-faulted every
+cycle, every acknowledged commit audited semantically after recovery.
+
+Two legs under identical fault schedules:
+
+- ``wal-fsync``    — COMMIT acked only after fsync; the paper's remedy.
+- ``wal-nofsync``  — COMMIT acked from the page cache; the paper's FWA
+  failure mode surfaced at application level.
+
+Shape asserts encode the headline contrast: with fsync no acknowledged
+commit is ever lost; without it commits are lost, and (because records are
+CRC-sealed) every loss is *detected* — never silent corruption.
+
+This family doubles as the perf gate for the app harness hot path
+(``PERF_SMOKE_FAMILY=apps_wal``): each cycle boots a host, mounts the
+filesystem, runs the app protocol, faults, remounts, and audits, so
+cycles/sec tracks the whole app-cycle stack.
+"""
+
+from _common import fault_budget, print_banner, run_engine_plan, BENCH_SHARD_FAULTS
+
+from repro.analysis import ascii_table
+from repro.apps import AppPlan
+from repro.ftl import FtlConfig
+from repro.ssd.device import SsdConfig
+from repro.units import GIB, MSEC
+from repro.workload.spec import WorkloadSpec
+
+BASE_SEED = 23
+
+LEGS = {
+    "wal-fsync": True,
+    "wal-nofsync": False,
+}
+
+
+def hostile_config():
+    """Zero-luck FTL so durability results are protocol, not fortune."""
+    return SsdConfig(
+        name="hostile",
+        capacity_bytes=1 * GIB,
+        init_time_us=30 * MSEC,
+        ftl=FtlConfig(
+            journal_commit_interval_us=10_000 * MSEC,
+            page_recovery_prob=0.0,
+            extent_recovery_prob=0.0,
+        ),
+    )
+
+
+def regenerate_apps_wal():
+    cycles = max(4, fault_budget("apps_wal"))
+    results = {}
+    for label, fsync in LEGS.items():
+        plan = AppPlan(
+            spec=WorkloadSpec(),
+            faults=cycles,
+            device=hostile_config(),
+            base_seed=BASE_SEED,
+            label=f"apps_wal {label}",
+            shard_faults=min(BENCH_SHARD_FAULTS, cycles),
+            warmup_us=40 * MSEC,
+            fault_window_us=150 * MSEC,
+            app="wal",
+            app_fsync=fsync,
+        )
+        results[label] = run_engine_plan(plan)
+    return results
+
+
+def test_apps_wal(benchmark):
+    results = benchmark.pedantic(regenerate_apps_wal, rounds=1, iterations=1)
+
+    print_banner(
+        "WAL database under power faults: fsync vs no-fsync, audited",
+        ["wal_fsync_zero_commit_loss"],
+    )
+    print(
+        ascii_table(
+            ["leg", "promises", "intact", "torn-rec", "loss", "silent", "rec-fail"],
+            [
+                [
+                    label,
+                    r.app_promises,
+                    r.app_intact,
+                    r.app_torn_recovered,
+                    r.app_committed_loss,
+                    r.app_silent_corruption,
+                    r.app_recovery_failed,
+                ]
+                for label, r in results.items()
+            ],
+        )
+    )
+
+    # The semantic audit partitions every promise, cycle by cycle.
+    for result in results.values():
+        for cycle in result.cycles:
+            assert (
+                cycle.app_intact
+                + cycle.app_torn_recovered
+                + cycle.app_committed_loss
+                + cycle.app_silent_corruption
+                + cycle.app_recovery_failed
+                == cycle.app_promises
+            ), cycle
+    # fsync: acked commits survive every fault on the hostile device.
+    assert results["wal-fsync"].app_promises > 0
+    assert results["wal-fsync"].app_committed_loss == 0
+    assert results["wal-fsync"].app_recovery_failed == 0
+    # no fsync: the paper's FWA becomes application-visible committed loss —
+    # and the CRC-sealed log detects all of it (no silent corruption).
+    assert results["wal-nofsync"].app_committed_loss > 0
+    assert results["wal-nofsync"].app_silent_corruption == 0

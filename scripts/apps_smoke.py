@@ -1,0 +1,248 @@
+#!/usr/bin/env python
+"""End-to-end application-workload smoke test (used by CI).
+
+Three legs over the app fault harness (see ``repro.apps``):
+
+A. **fsync contrast** — the headline claim of the subsystem, on the weak
+   ``ssd-c`` preset so device-level FWA is plentiful:
+
+   - WAL with fsync: zero committed loss, zero recovery failures (the
+     COMMIT ack waits for the device FLUSH);
+   - WAL without fsync: nonzero committed loss (the paper's flying-write
+     ACK surfacing at application level) and zero *silent* corruption —
+     the CRC-sealed log detects every loss it suffers.
+
+B. **Determinism + crash safety** — a checkpointed jobs=2 run of the
+   no-fsync campaign is SIGTERMed mid-flight and resumed; its summary
+   table must be byte-identical to an uninterrupted jobs=4 run.
+
+C. **Explainability** — ``repro apps run --explain 0`` over the same plan
+   renders the promise log, per-LBA device verdicts, and semantic verdict
+   chain for the first cycle.
+
+The engine trace of leg B is written to ``APPS_SMOKE_ARTIFACT_DIR`` when
+set (CI uploads it as an artifact).
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/apps_smoke.py
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ARTIFACT_DIR_ENV = "APPS_SMOKE_ARTIFACT_DIR"
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+
+CONTRAST_ARGS = [
+    "--device", "ssd-c",
+    "--faults", "6",
+    "--shard-cycles", "2",
+    "--seed", "7",
+    "--warmup-ms", "30",
+    "--fault-window-ms", "120",
+]
+
+ACCEPTANCE_ARGS = [
+    "apps", "run",
+    "--app", "wal",
+    "--no-fsync",
+    "--device", "ssd-c",
+    "--faults", "6",
+    "--shard-cycles", "1",
+    "--seed", "11",
+    "--warmup-ms", "30",
+    "--fault-window-ms", "120",
+]
+
+
+def cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def run_cli(args, env):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+
+
+def summary_table(stdout):
+    return [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.startswith("running ")
+    ]
+
+
+def summary_value(stdout, column):
+    """Pull one column's value out of the rendered summary table."""
+    lines = stdout.splitlines()
+    for index, line in enumerate(lines):
+        cells = [c.strip() for c in line.split("|")]
+        if column in cells:
+            values = [c.strip() for c in lines[index + 2].split("|")]
+            return values[cells.index(column)]
+    raise AssertionError(f"column {column!r} not found in output:\n{stdout}")
+
+
+def leg_fsync_contrast(env):
+    """Leg A: fsync WAL loses nothing; no-fsync loses, but never silently."""
+    safe = run_cli(["apps", "run", "--app", "wal", *CONTRAST_ARGS], env)
+    if safe.returncode != 0:
+        print(f"FAIL: fsync leg exited {safe.returncode}\n{safe.stderr}")
+        return False
+    promises = int(summary_value(safe.stdout, "app_promises"))
+    loss = summary_value(safe.stdout, "app_committed_loss")
+    failed = summary_value(safe.stdout, "app_recovery_failed")
+    if promises <= 0:
+        print("FAIL: fsync leg made no promises")
+        return False
+    if loss != "0" or failed != "0":
+        print(f"FAIL: fsync WAL lost commits (loss={loss}, rec-fail={failed})")
+        return False
+    print(f"leg A ok: WAL+fsync, {promises} acked commits, zero loss")
+
+    lossy = run_cli(
+        ["apps", "run", "--app", "wal", "--no-fsync", *CONTRAST_ARGS], env
+    )
+    if lossy.returncode != 0:
+        print(f"FAIL: no-fsync leg exited {lossy.returncode}\n{lossy.stderr}")
+        return False
+    loss = summary_value(lossy.stdout, "app_committed_loss")
+    silent = summary_value(lossy.stdout, "app_silent_corruption")
+    if int(loss) <= 0:
+        print("FAIL: no-fsync WAL shows no committed loss on ssd-c")
+        return False
+    if silent != "0":
+        print(f"FAIL: CRC-sealed WAL reported silent corruption ({silent})")
+        return False
+    print(f"leg A ok: WAL without fsync, {loss} acked commits lost, all detected")
+    return True
+
+
+def leg_interrupt_resume(env, artifact_dir):
+    """Leg B: SIGTERM + --resume vs uninterrupted jobs=4, byte-identical."""
+    checkpoint = artifact_dir / "ck.jsonl"
+    trace = artifact_dir / "apps.trace.jsonl"
+
+    slow_env = dict(env)
+    slow_env[FAULT_ENV] = "slow:*:*:0.8"  # widen the interrupt window
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", *ACCEPTANCE_ARGS,
+         "--jobs", "2", "--checkpoint", str(checkpoint),
+         "--trace", str(trace)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=slow_env,
+    )
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline and proc.poll() is None:
+        if checkpoint.exists() and checkpoint.stat().st_size > 0:
+            break
+        time.sleep(0.1)
+    if proc.poll() is None:
+        proc.send_signal(signal.SIGTERM)
+    try:
+        _, err = proc.communicate(timeout=300)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+        print("FAIL: interrupted apps run did not exit after SIGTERM")
+        return False
+
+    if proc.returncode == 130:
+        print(f"interrupted mid-run (exit 130): {err.strip().splitlines()[-1]}")
+    elif proc.returncode == 0:
+        print("apps run finished before the signal landed; resume is a no-op run")
+    else:
+        print(f"FAIL: unexpected exit {proc.returncode}\n{err}")
+        return False
+
+    resumed = run_cli(
+        ACCEPTANCE_ARGS + ["--jobs", "2", "--checkpoint", str(checkpoint),
+                           "--resume"],
+        env,
+    )
+    if resumed.returncode != 0:
+        print(f"FAIL: resume exited {resumed.returncode}\n{resumed.stderr}")
+        return False
+    print(f"resume: {resumed.stderr.strip() or '(no shards needed resuming)'}")
+
+    parallel = run_cli(ACCEPTANCE_ARGS + ["--jobs", "4"], env)
+    if parallel.returncode != 0:
+        print(f"FAIL: jobs=4 run exited {parallel.returncode}\n{parallel.stderr}")
+        return False
+
+    if summary_table(resumed.stdout) != summary_table(parallel.stdout):
+        print("FAIL: resumed jobs=2 summary differs from uninterrupted jobs=4")
+        print("--- resumed jobs=2 ---")
+        print(resumed.stdout)
+        print("--- jobs=4 ---")
+        print(parallel.stdout)
+        return False
+    print("leg B ok: SIGTERM + --resume matches uninterrupted jobs=4 exactly")
+
+    # The audit partitions every promise — the five verdict columns must
+    # sum to the promise count across the campaign.
+    promises = int(summary_value(parallel.stdout, "app_promises"))
+    verdicts = sum(
+        int(summary_value(parallel.stdout, column))
+        for column in (
+            "app_intact",
+            "app_torn_recovered",
+            "app_committed_loss",
+            "app_silent_corruption",
+            "app_recovery_failed",
+        )
+    )
+    if promises <= 0 or verdicts != promises:
+        print(f"FAIL: audit partition broken ({verdicts} verdicts / {promises} promises)")
+        return False
+    print(f"leg B ok: {promises} promises, every one classified exactly once")
+    return True
+
+
+def leg_explain(env):
+    """Leg C: the --explain mini-report renders all three evidence views."""
+    report = run_cli(ACCEPTANCE_ARGS + ["--explain", "0"], env)
+    if report.returncode != 0:
+        print(f"FAIL: --explain exited {report.returncode}\n{report.stderr}")
+        return False
+    for heading in ("promise log", "device verdicts", "semantic verdict chain"):
+        if heading not in report.stdout:
+            print(f"FAIL: --explain report lacks {heading!r}:\n{report.stdout}")
+            return False
+    print("leg C ok: --explain renders promises, device verdicts, semantics")
+    return True
+
+
+def main():
+    env = cli_env()
+    with tempfile.TemporaryDirectory() as tmp:
+        artifact_dir = Path(os.environ.get(ARTIFACT_DIR_ENV) or tmp)
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        if not leg_fsync_contrast(env):
+            return 1
+        if not leg_interrupt_resume(env, artifact_dir):
+            return 1
+        if not leg_explain(env):
+            return 1
+    print("OK: application-workload subsystem verified end to end")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

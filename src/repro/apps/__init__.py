@@ -1,0 +1,59 @@
+"""Application workload models and the semantic-outcome auditor.
+
+The paper measures what power faults do to *devices*; this package
+measures what those device outcomes mean to *applications*.  Three
+crash-consistency workload models run atop :class:`repro.fs.FileSystem`:
+
+- :class:`~repro.apps.wal.WalDatabase` — a WAL database
+  (begin/write/commit with an fsync protocol and redo recovery);
+- :class:`~repro.apps.kv.KvStore` — a log-structured KV store
+  (append-only segments, compaction, manifest swap via atomic rename);
+- :class:`~repro.apps.hpc.CheckpointLoop` — an HPC checkpoint/restart
+  loop (write-tmp / fsync / rename generations).
+
+Each maintains a deterministic **oracle**: the exact set of operations
+it promised durable (its :class:`~repro.apps.base.PromiseLog`).  After
+every power cycle the auditor (:mod:`repro.apps.audit`) remounts, runs
+the app's own recovery path, and partitions the promise log *exactly*
+into intact / torn-but-recovered / committed-loss / silently-corrupt /
+recovery-failed.  :class:`~repro.apps.plan.AppPlan` packages the cycles
+as an engine campaign (sharding, jobs, checkpoint/resume, quarantine,
+trace all apply unchanged).
+"""
+
+from repro.apps.audit import (
+    AppVerdict,
+    Observation,
+    SemanticAudit,
+    audit_app,
+    classify,
+    classify_promises,
+)
+from repro.apps.base import AppRecorder, AppWorkload, Promise, PromiseLog
+from repro.apps.explain import explain_cycle
+from repro.apps.hpc import CheckpointLoop
+from repro.apps.kv import KvStore
+from repro.apps.plan import APPS, AppPlan, CycleDebris, run_app_cycle, run_app_shard
+from repro.apps.wal import WalDatabase
+
+__all__ = [
+    "APPS",
+    "AppPlan",
+    "AppRecorder",
+    "AppVerdict",
+    "AppWorkload",
+    "CheckpointLoop",
+    "CycleDebris",
+    "KvStore",
+    "Observation",
+    "Promise",
+    "PromiseLog",
+    "SemanticAudit",
+    "WalDatabase",
+    "audit_app",
+    "classify",
+    "classify_promises",
+    "explain_cycle",
+    "run_app_cycle",
+    "run_app_shard",
+]

@@ -1,0 +1,195 @@
+"""The semantic auditor: from per-IO damage to application verdicts.
+
+After every power cycle the harness remounts the filesystem and runs the
+app's *own* recovery path; :func:`classify_promises` then partitions the
+promise log into exactly one verdict per acked promise:
+
+=====================  ===========================================================
+verdict                meaning
+=====================  ===========================================================
+``INTACT``             promised content recovered exactly from its primary record
+``TORN_RECOVERED``     primary on-disk record damaged, but the app's recovery
+                       restored the exact content from a redundant copy
+                       (WAL snapshot, compacted segment, older manifest)
+``COMMITTED_LOSS``     acked content is gone, and the app can tell (torn tail,
+                       failed checksum, missing file)
+``SILENT_CORRUPTION``  recovery served *wrong* content with no error — the
+                       app-level face of the paper's FWA / serializability
+                       failures
+``RECOVERY_FAILED``    the recovery path itself failed; every promise of the
+                       cycle is orphaned
+=====================  ===========================================================
+
+The partition is asserted exact — every outstanding promise classified
+once, no observation for a promise that was never made — and any
+violation raises :class:`~repro.errors.AppAuditError` rather than being
+absorbed into a count.  That assertion *is* the test-archetype contract:
+the auditor cannot silently disagree with the oracle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.apps.base import Promise
+from repro.errors import AppAuditError, ReproError
+
+
+class AppVerdict(enum.Enum):
+    """Semantic outcome classes for one acked application promise."""
+
+    INTACT = "intact"
+    TORN_RECOVERED = "torn_recovered"
+    COMMITTED_LOSS = "committed_loss"
+    SILENT_CORRUPTION = "silent_corruption"
+    RECOVERY_FAILED = "recovery_failed"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What the app's recovery found for one promise.
+
+    ``digest`` is the fingerprint of the content recovery would serve for
+    this promise (``None`` when recovery knows the content is gone);
+    ``damaged`` is True when recovery *detected* damage to the promise's
+    primary record (tear, checksum failure, missing file) — it decides
+    between intact/torn-recovered on a digest match and between
+    committed-loss/silent-corruption on a mismatch.
+    """
+
+    digest: Optional[str]
+    damaged: bool = False
+    source: str = ""
+
+
+def classify(promise: Promise, observation: Optional[Observation]):
+    """One promise's verdict (and a human-readable reason)."""
+    if observation is None or observation.digest is None:
+        source = observation.source if observation is not None else "no observation"
+        return AppVerdict.COMMITTED_LOSS, f"content gone ({source or 'missing'})"
+    if observation.digest == promise.digest:
+        if observation.damaged:
+            return (
+                AppVerdict.TORN_RECOVERED,
+                f"primary record damaged, content restored from {observation.source}",
+            )
+        return AppVerdict.INTACT, f"recovered exactly from {observation.source}"
+    if observation.damaged:
+        return (
+            AppVerdict.COMMITTED_LOSS,
+            f"damage detected, stale content from {observation.source}",
+        )
+    return (
+        AppVerdict.SILENT_CORRUPTION,
+        f"wrong content served without error from {observation.source}",
+    )
+
+
+@dataclass
+class SemanticAudit:
+    """The exact verdict partition over one cycle's promise log."""
+
+    verdicts: Dict[str, AppVerdict] = field(default_factory=dict)
+    reasons: Dict[str, str] = field(default_factory=dict)
+    promises: int = 0
+
+    def _count(self, verdict: AppVerdict) -> int:
+        return sum(1 for v in self.verdicts.values() if v is verdict)
+
+    @property
+    def intact(self) -> int:
+        return self._count(AppVerdict.INTACT)
+
+    @property
+    def torn_recovered(self) -> int:
+        return self._count(AppVerdict.TORN_RECOVERED)
+
+    @property
+    def committed_loss(self) -> int:
+        return self._count(AppVerdict.COMMITTED_LOSS)
+
+    @property
+    def silent_corruption(self) -> int:
+        return self._count(AppVerdict.SILENT_CORRUPTION)
+
+    @property
+    def recovery_failed(self) -> int:
+        return self._count(AppVerdict.RECOVERY_FAILED)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "promises": self.promises,
+            "intact": self.intact,
+            "torn_recovered": self.torn_recovered,
+            "committed_loss": self.committed_loss,
+            "silent_corruption": self.silent_corruption,
+            "recovery_failed": self.recovery_failed,
+        }
+
+    def assert_exact(self, promises: List[Promise]) -> None:
+        """The partition invariant: every promise classified exactly once."""
+        pids = [p.pid for p in promises]
+        if len(set(pids)) != len(pids):
+            raise AppAuditError(f"duplicate promise ids in oracle: {sorted(pids)}")
+        if set(self.verdicts) != set(pids):
+            missing = sorted(set(pids) - set(self.verdicts))
+            extra = sorted(set(self.verdicts) - set(pids))
+            raise AppAuditError(
+                f"verdict partition not exact: missing={missing} extra={extra}"
+            )
+        total = sum(self.counts()[v.value] for v in AppVerdict)
+        if total != self.promises or self.promises != len(pids):
+            raise AppAuditError(
+                f"verdict counts {self.counts()} do not sum to {len(pids)} promises"
+            )
+
+    @classmethod
+    def all_failed(cls, promises: List[Promise], reason: str) -> "SemanticAudit":
+        """Every promise orphaned: the recovery path itself failed."""
+        audit = cls(promises=len(promises))
+        for promise in promises:
+            audit.verdicts[promise.pid] = AppVerdict.RECOVERY_FAILED
+            audit.reasons[promise.pid] = reason
+        audit.assert_exact(promises)
+        return audit
+
+
+def classify_promises(
+    promises: List[Promise], observations: Mapping[str, Optional[Observation]]
+) -> SemanticAudit:
+    """Pure classification of a promise log against recovery observations.
+
+    ``observations`` may omit promises (classified as committed loss) but
+    must never contain a pid the oracle does not know — that would mean
+    recovery invented a promise, an audit bug worth failing loudly over.
+    """
+    known = {p.pid for p in promises}
+    unknown = sorted(set(observations) - known)
+    if unknown:
+        raise AppAuditError(f"observations for unknown promises: {unknown}")
+    audit = SemanticAudit(promises=len(promises))
+    for promise in promises:
+        verdict, reason = classify(promise, observations.get(promise.pid))
+        audit.verdicts[promise.pid] = verdict
+        audit.reasons[promise.pid] = reason
+    audit.assert_exact(promises)
+    return audit
+
+
+def audit_app(app, fs) -> SemanticAudit:
+    """Run ``app``'s own recovery over a freshly mounted ``fs`` and classify.
+
+    Protocol-invariant violations (:class:`AppAuditError`) propagate — they
+    are harness assertions, not storage outcomes.  Any other library error
+    out of the recovery path orphans the whole cycle as RECOVERY_FAILED.
+    """
+    outstanding = app.promises.outstanding()
+    try:
+        observations = app.recover(fs)
+    except AppAuditError:
+        raise
+    except ReproError as exc:
+        return SemanticAudit.all_failed(outstanding, f"recovery failed: {exc}")
+    return classify_promises(outstanding, observations)

@@ -1,0 +1,211 @@
+"""Shared plumbing for application workload models.
+
+Every app in :mod:`repro.apps` follows the same shape:
+
+- it runs an endless stream of operations against a mounted
+  :class:`repro.fs.FileSystem`, persisting self-describing 4 KiB records
+  (JSON, zero-padded to one filesystem block);
+- the instant an operation is *acknowledged durable by the app's own
+  protocol* (fsync returned, rename returned), it records a
+  :class:`Promise` — the oracle entry the post-fault audit will hold the
+  storage stack to;
+- after the power cycle it runs its own recovery path over a freshly
+  mounted view and reports one :class:`~repro.apps.audit.Observation` per
+  outstanding promise.
+
+The promise log is *writer-side ground truth*: it lives in host memory,
+never on the device under test, exactly like the expectation ledgers the
+paper's testbed keeps on the workload generator machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import AppAuditError
+from repro.fs.inode import BLOCK
+
+
+def content_digest(data: bytes) -> str:
+    """Short, stable content fingerprint used for promises and records."""
+    return hashlib.blake2b(data, digest_size=8).hexdigest()
+
+
+def canonical_json(obj: object) -> bytes:
+    """Canonical JSON encoding (stable across processes and versions)."""
+    return json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+
+
+def seal_record(record: Dict[str, object]) -> Dict[str, object]:
+    """Return ``record`` with a ``crc`` field covering every other field."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    sealed = dict(body)
+    sealed["crc"] = content_digest(canonical_json(body))
+    return sealed
+
+
+def record_crc_ok(record: Mapping[str, object]) -> bool:
+    """True when a sealed record's ``crc`` matches its content."""
+    crc = record.get("crc")
+    if not isinstance(crc, str):
+        return False
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return content_digest(canonical_json(body)) == crc
+
+
+def pack_record(record: Mapping[str, object]) -> bytes:
+    """One record as a full 4 KiB filesystem block (JSON, zero padded)."""
+    blob = canonical_json(record)
+    if len(blob) > BLOCK:
+        raise AppAuditError(f"app record exceeds one block ({len(blob)} bytes)")
+    return blob.ljust(BLOCK, b"\0")
+
+
+def unpack_record(raw: Optional[bytes]) -> Optional[Dict[str, object]]:
+    """Decode one block back into a record; ``None`` for damaged blocks."""
+    if raw is None:
+        return None
+    try:
+        data = json.loads(raw.rstrip(b"\0").decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+@dataclass(frozen=True)
+class Promise:
+    """One durability promise the application made to its caller.
+
+    ``digest`` fingerprints the promised content; ``seq`` orders promises
+    (txid, put sequence number, checkpoint generation); ``detail`` carries
+    writer-side location metadata (file name, block indices) used by the
+    audit's damage attribution and by ``--explain``.
+    """
+
+    pid: str
+    kind: str
+    digest: str
+    seq: int
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+
+class PromiseLog:
+    """The app's oracle: an exact, writer-side log of acked promises.
+
+    ``ack`` records (or supersedes — a KV store re-promising a key) a
+    promise; ``retract`` removes one the app deliberately withdrew (an HPC
+    loop deleting an expired checkpoint generation).  ``outstanding()`` is
+    the set the post-fault audit must partition exactly.
+    """
+
+    def __init__(self) -> None:
+        self._promises: Dict[str, Promise] = {}
+        self.acks = 0
+        self.retractions = 0
+
+    def ack(self, promise: Promise) -> None:
+        self._promises[promise.pid] = promise
+        self.acks += 1
+
+    def retract(self, pid: str) -> None:
+        if pid not in self._promises:
+            raise AppAuditError(f"retracting unknown promise {pid!r}")
+        del self._promises[pid]
+        self.retractions += 1
+
+    def outstanding(self) -> List[Promise]:
+        """Outstanding promises in ``seq`` order."""
+        return sorted(self._promises.values(), key=lambda p: (p.seq, p.pid))
+
+    def get(self, pid: str) -> Optional[Promise]:
+        return self._promises.get(pid)
+
+    def __len__(self) -> int:
+        return len(self._promises)
+
+
+class AppRecorder:
+    """Optional writer-side capture of every block an app persists.
+
+    Used only by ``repro apps run --explain``: keeping the raw bytes lets
+    the report recompute the expected CAS token per device block and render
+    per-LBA device verdicts next to the semantic ones.  Recording must
+    never influence app behaviour (no RNG draws, no IO).
+    """
+
+    def __init__(self) -> None:
+        self.blocks: Dict[Tuple[str, int], bytes] = {}
+
+    def note_block(self, file: str, index: int, content: bytes) -> None:
+        self.blocks[(file, index)] = content
+
+    def note_rename(self, old: str, new: str) -> None:
+        for (file, index), content in list(self.blocks.items()):
+            if file == old:
+                del self.blocks[(file, index)]
+                self.blocks[(new, index)] = content
+
+    def note_delete(self, name: str) -> None:
+        for key in [k for k in self.blocks if k[0] == name]:
+            del self.blocks[key]
+
+
+class AppWorkload:
+    """Base class for the application models (WAL / KV / HPC).
+
+    Subclasses implement :meth:`setup` (create files, all synced),
+    :meth:`step` (one operation batch; record promises only after the
+    protocol's own ack point) and :meth:`recover` (the app's genuine
+    recovery path over a freshly mounted filesystem, returning one
+    observation per outstanding promise).
+    """
+
+    name = "app"
+
+    def __init__(self, rng, run_id: str, recorder: Optional[AppRecorder] = None):
+        self.rng = rng
+        self.run_id = run_id
+        self.recorder = recorder
+        self.promises = PromiseLog()
+        self.ops_completed = 0
+
+    # -- persistence helpers ---------------------------------------------------------
+
+    def _write_block(self, fs, name: str, index: int, record: Mapping[str, object]) -> None:
+        packed = pack_record(record)
+        fs.write_file(name, packed, offset=index * BLOCK)
+        if self.recorder is not None:
+            self.recorder.note_block(name, index, packed)
+
+    def _read_blocks(self, fs, name: str) -> List[Optional[Dict[str, object]]]:
+        """Per-block prefix read of ``name``; damaged blocks decode to None.
+
+        Apps always write whole blocks, so the file size is a block
+        multiple; a single bad block must not make its neighbours
+        unreadable (the whole point of per-record recovery).
+        """
+        from repro.fs import FsCorruption
+
+        size = fs.stat(name).size_bytes
+        records: List[Optional[Dict[str, object]]] = []
+        for index in range(size // BLOCK):
+            try:
+                raw = fs.read_file(name, offset=index * BLOCK, length=BLOCK)
+            except FsCorruption:
+                raw = None
+            records.append(unpack_record(raw))
+        return records
+
+    # -- protocol hooks ----------------------------------------------------------------
+
+    def setup(self, fs) -> None:
+        raise NotImplementedError
+
+    def step(self, fs) -> None:
+        raise NotImplementedError
+
+    def recover(self, fs) -> Dict[str, "object"]:
+        raise NotImplementedError

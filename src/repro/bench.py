@@ -39,6 +39,7 @@ BENCH_FAMILIES: Dict[str, Tuple[str, str]] = {
     "ablation_journal_interval": ("bench_ablation_journal_interval", "regenerate_journal_ablation"),
     "dirty_cycle": ("bench_dirty_cycle", "regenerate_dirty_cycle"),
     "cache_topology": ("bench_cache_topology", "regenerate_cache_topology"),
+    "apps_wal": ("bench_apps_wal", "regenerate_apps_wal"),
 }
 """family name -> (bench module, regeneration callable)."""
 

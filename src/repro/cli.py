@@ -13,6 +13,8 @@ Usage (installed or via ``python -m repro``)::
     python -m repro smart --device ssd-b --faults 3
     python -m repro stress dirty-cycle --repeat 25 --seed 7
     python -m repro topology run --policy wb --mirror-cache
+    python -m repro apps run --app wal --faults 8 --per-cycle
+    python -m repro apps run --app kv --no-fsync --explain 3
     python -m repro trace report run.trace.jsonl
     python -m repro trace report --follow run.trace.jsonl   # live dashboard
     python -m repro checkpoint compact run.ck.jsonl
@@ -304,6 +306,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", action="store_true", help="print engine shard telemetry to stderr"
     )
     _add_fault_tolerance_flags(topo_run)
+
+    apps = sub.add_parser(
+        "apps",
+        help="application crash-consistency campaigns with the semantic auditor",
+    )
+    apps_sub = apps.add_subparsers(dest="apps_command", required=True)
+    apps_run = apps_sub.add_parser(
+        "run",
+        help=(
+            "power-fault cycles against an application model (WAL database, "
+            "log-structured KV store, HPC checkpoint loop) on the journaling "
+            "filesystem; every acked promise is classified intact / "
+            "torn-recovered / committed-loss / silent-corruption / "
+            "recovery-failed by the app's own recovery path"
+        ),
+    )
+    apps_run.add_argument(
+        "--app",
+        choices=["wal", "kv", "hpc"],
+        default="wal",
+        help="which workload model to run (default wal)",
+    )
+    apps_run.add_argument("--device", default="ssd-a", help="device preset name")
+    apps_run.add_argument("--faults", type=int, default=8, help="power-fault cycles")
+    apps_run.add_argument("--seed", type=int, default=1)
+    apps_run.add_argument(
+        "--journal-blocks",
+        type=int,
+        default=64,
+        help="filesystem journal size in blocks (small values wrap often)",
+    )
+    apps_run.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="ack before flush (the mis-configured-application contrast leg)",
+    )
+    apps_run.add_argument(
+        "--no-checksums",
+        action="store_true",
+        help="KV records unsealed: replay trusts storage (silent-corruption leg)",
+    )
+    apps_run.add_argument(
+        "--warmup-ms",
+        type=int,
+        default=40,
+        help="traffic before the fault window opens (default 40 ms)",
+    )
+    apps_run.add_argument(
+        "--fault-window-ms",
+        type=int,
+        default=150,
+        help="fault instant drawn uniformly from this window (default 150 ms)",
+    )
+    apps_run.add_argument(
+        "--explain",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help=(
+            "replay one campaign cycle in isolation and print the mini-report "
+            "(promise log, per-LBA device verdicts, semantic verdict chain)"
+        ),
+    )
+    apps_run.add_argument("--per-cycle", action="store_true", help="print per-cycle rows")
+    apps_run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (shard plan is fixed, so results match any job count)",
+    )
+    apps_run.add_argument(
+        "--shard-cycles",
+        type=int,
+        default=DEFAULT_SHARD_FAULTS,
+        help="max fault cycles per engine shard (determines available parallelism)",
+    )
+    apps_run.add_argument(
+        "--progress", action="store_true", help="print engine shard telemetry to stderr"
+    )
+    _add_fault_tolerance_flags(apps_run)
 
     fleet = sub.add_parser(
         "fleet", help="run the Table I population (six units) and rank by loss"
@@ -728,6 +810,91 @@ def _cmd_topology_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _app_plan_from_args(args: argparse.Namespace):
+    from repro.apps import AppPlan
+    from repro.units import MSEC
+
+    return AppPlan(
+        spec=WorkloadSpec(),
+        faults=args.faults,
+        device=models.by_name(args.device),
+        base_seed=args.seed,
+        shard_faults=args.shard_cycles,
+        warmup_us=args.warmup_ms * MSEC,
+        app=args.app,
+        fault_window_us=args.fault_window_ms * MSEC,
+        journal_blocks=args.journal_blocks,
+        app_fsync=not args.no_fsync,
+        app_checksums=not args.no_checksums,
+    )
+
+
+def _cmd_apps_run(args: argparse.Namespace) -> int:
+    plan = _app_plan_from_args(args)
+    if args.explain is not None:
+        from repro.apps.explain import explain_cycle
+
+        print(explain_cycle(plan, args.explain))
+        return 0
+    print(
+        f"running {args.faults} app fault cycles against {plan.display_label()} "
+        f"({plan.shard_count()} shards, jobs={args.jobs}) ..."
+    )
+    tracer = TraceWriter(args.trace) if args.trace else None
+    progress = fanout_hooks(ConsoleProgress() if args.progress else None, tracer)
+    try:
+        result = run_plan(
+            plan, jobs=args.jobs, progress=progress, **_engine_kwargs(args)
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+    if args.per_cycle:
+        print(
+            ascii_table(
+                [
+                    "cycle",
+                    "promises",
+                    "intact",
+                    "torn-rec",
+                    "loss",
+                    "silent",
+                    "rec-fail",
+                ],
+                [
+                    [
+                        c.cycle_index,
+                        c.app_promises,
+                        c.app_intact,
+                        c.app_torn_recovered,
+                        c.app_committed_loss,
+                        c.app_silent_corruption,
+                        c.app_recovery_failed,
+                    ]
+                    for c in result.cycles
+                ],
+            )
+        )
+    summary = dict(result.summary())
+    summary["app_promises"] = result.app_promises
+    summary["app_intact"] = result.app_intact
+    summary["app_torn_recovered"] = result.app_torn_recovered
+    summary["app_committed_loss"] = result.app_committed_loss
+    summary["app_silent_corruption"] = result.app_silent_corruption
+    summary["app_recovery_failed"] = result.app_recovery_failed
+    print(
+        ascii_table(
+            list(summary.keys()),
+            [list(summary.values())],
+            title="apps summary",
+        )
+    )
+    _report_execution(result)
+    if result.execution.shards_quarantined and not args.quarantine:
+        return 1
+    return 0
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.core.fleet import merge_by_model, rank_by_loss, run_fleet
 
@@ -966,6 +1133,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stress_dirty_cycle(args)
     if args.command == "topology":
         return _cmd_topology_run(args)
+    if args.command == "apps":
+        return _cmd_apps_run(args)
     if args.command == "fleet":
         return _cmd_fleet(args)
     if args.command == "worker":

@@ -102,6 +102,15 @@ ANCHORS: Dict[str, Anchor] = {
         "write a faulted leg loses",
         "repro.topology audit: device FWAs classify topology-recovered, not lost",
     ),
+    "wal_fsync_zero_commit_loss": Anchor(
+        0,
+        "commits/campaign",
+        "§IV-A remedy, application-level: a WAL that acks COMMIT only after "
+        "fsync never loses an acknowledged transaction to a power fault — "
+        "the FWA failures the paper measures all live in the post-ack, "
+        "pre-flush window",
+        "repro.apps semantic audit: fsync WAL campaigns report zero committed loss",
+    ),
 }
 
 
@@ -131,6 +140,7 @@ PAPER_FAULTS = {
     "sec4d_pattern": 300,
     "dirty_cycle": 300,
     "cache_topology": 300,
+    "apps_wal": 300,
 }
 """Fault counts the paper reports per experiment family."""
 

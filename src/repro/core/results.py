@@ -27,6 +27,17 @@ class FaultCycleResult:
     unsafe_shutdowns: int = 0
     intact_writes: int = 0
     topology_recovered: int = 0
+    # Semantic (application-level) outcome counters, filled by app campaigns
+    # (see repro.apps.audit): every acked application promise of the cycle is
+    # classified into exactly one of the five verdict classes, so
+    # app_promises == app_intact + app_torn_recovered + app_committed_loss
+    #                 + app_silent_corruption + app_recovery_failed.
+    app_promises: int = 0
+    app_intact: int = 0
+    app_torn_recovered: int = 0
+    app_committed_loss: int = 0
+    app_silent_corruption: int = 0
+    app_recovery_failed: int = 0
 
     @property
     def total_data_loss(self) -> int:
@@ -173,6 +184,39 @@ class CampaignResult:
         """Acked writes that lost their device copy but were recovered by
         topology redundancy (mirror leg / backing store) — topology runs."""
         return sum(c.topology_recovered for c in self.cycles)
+
+    # -- semantic (application-level) totals — app campaigns ------------------------
+
+    @property
+    def app_promises(self) -> int:
+        """Application promises audited across all cycles (app runs)."""
+        return sum(c.app_promises for c in self.cycles)
+
+    @property
+    def app_intact(self) -> int:
+        """Promises whose content was recovered exactly from the primary copy."""
+        return sum(c.app_intact for c in self.cycles)
+
+    @property
+    def app_torn_recovered(self) -> int:
+        """Promises whose primary on-disk record was damaged but whose content
+        the app's own recovery restored from a redundant copy."""
+        return sum(c.app_torn_recovered for c in self.cycles)
+
+    @property
+    def app_committed_loss(self) -> int:
+        """Acked promises whose content is gone — and detectably so."""
+        return sum(c.app_committed_loss for c in self.cycles)
+
+    @property
+    def app_silent_corruption(self) -> int:
+        """Acked promises whose recovery served wrong content with no error."""
+        return sum(c.app_silent_corruption for c in self.cycles)
+
+    @property
+    def app_recovery_failed(self) -> int:
+        """Promises orphaned because the app's recovery path itself failed."""
+        return sum(c.app_recovery_failed for c in self.cycles)
 
     # -- rates ------------------------------------------------------------------------
 

@@ -130,6 +130,19 @@ class StressAuditError(ReproError):
     """
 
 
+class AppAuditError(ReproError):
+    """An application-level semantic audit invariant was violated.
+
+    Raised when the verdict partition over an app's promise log is not
+    exact (a promise classified twice, or an acked promise left
+    unclassified), or when a protocol invariant the apps stake their
+    recovery on — e.g. rename atomicity of a manifest/checkpoint swap, or
+    durability of a synced rename — does not hold after a power cycle.
+    Unlike an app-level data loss (which is *classified*, not raised),
+    these are harness/filesystem contract violations.
+    """
+
+
 class TraceError(ReproError):
     """The block-layer tracer was queried for an unknown request or event."""
 

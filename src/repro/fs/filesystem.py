@@ -34,7 +34,7 @@ from repro.fs.inode import BLOCK, Inode
 from repro.fs.journal import Transaction, TxKind, TxRecord, decode_transactions, validate_region
 from repro.host.block_layer import BlockRequest
 from repro.host.system import HostSystem
-from repro.ssd.command import IoCommand
+from repro.ssd.command import CommandStatus, IoCommand
 
 
 class FsError(ReproError):
@@ -155,6 +155,11 @@ class FileSystem:
             if next_event is None:
                 raise FsError("simulation idle during flush")
             self.host.kernel.run(until=min(next_event, deadline))
+        if done[0].status is not CommandStatus.OK:
+            # A failed FLUSH means nothing about durability — fsync and
+            # synced renames must report it (the kernel returns EIO), not
+            # let the caller ack unflushed data.
+            raise FsError(f"flush barrier failed: {done[0].status.value}")
 
     # ------------------------------------------------------------------- format --
 
@@ -197,7 +202,12 @@ class FileSystem:
     def _journal_write(self, records: List[TxRecord], sync: bool) -> None:
         if self._journal_cursor + len(records) > JOURNAL_START + self.journal_blocks:
             # Journal full: checkpoint folds it into the snapshot; restart.
+            # The checkpoint MUST be durable before the lap it covers is
+            # overwritten — otherwise a power fault can roll the checkpoint
+            # back while the old journal pages are already gone, losing
+            # previously-fsynced transactions.
             self._checkpoint()
+            self._flush_barrier()
             self._journal_cursor = JOURNAL_START
         tokens = [self.cas.address_of(record.encode()) for record in records]
         self._write_blocks(self._journal_cursor, tokens)
@@ -343,7 +353,10 @@ class FileSystem:
             replayed += 1
         # Journal cursor resumes after the newest applied record position;
         # restarting at the region head after a checkpoint keeps it simple.
+        # The checkpoint must be durable before the journal region is
+        # reused: replayed transactions now live only in that snapshot.
         self._checkpoint()
+        self._flush_barrier()
         self._journal_cursor = JOURNAL_START
         self._mounted = True
         return MountReport(

@@ -79,37 +79,51 @@ def decode_transactions(pages: List[Optional[bytes]]) -> Tuple[List[Transaction]
     ``pages`` is the journal region in write order (oldest first).  Returns
     ``(committed transactions in order, torn/discarded transaction count)``.
 
-    A transaction is discarded when its commit record never made it, when a
-    payload page is unreadable, or when records of a different/garbled txid
-    interleave (all symptoms of a fault mid-journal-write).
+    A transaction is discarded when its commit record never made it, or when
+    a page *inside* it is torn — unreadable, or readable but carrying a
+    record of a different txid (a power fault rolled the page back to an
+    earlier lap's content).  A tear inside an open transaction also ends the
+    decode: the journal is written front to back, so nothing past the first
+    damaged interior page can be trusted — in particular a valid-looking
+    commit record found after the tear must never resurrect the transaction
+    it closes (replay stays a strict prefix of the write order).
+
+    Unreadable pages *between* transactions stay a silent skip: that is the
+    normal unwritten journal tail.
     """
     committed: List[Transaction] = []
     discarded = 0
     current: Optional[Transaction] = None
-    broken = False
     for raw in pages:
         record = TxRecord.decode(raw)
         if record is None:
             if current is not None:
-                broken = True  # unreadable page inside an open transaction
+                # Torn interior page: drop the open transaction and stop —
+                # later pages (even a valid commit) are past the tear.
+                discarded += 1
+                current = None
+                break
             continue
         if record.kind is TxKind.BEGIN:
             if current is not None:
                 discarded += 1  # previous transaction never committed
             current = Transaction(txid=record.txid, records=[record])
-            broken = False
             continue
-        if current is None or record.txid != current.txid:
-            # Stray record (stale page from an earlier lap, or torn write).
+        if current is None:
+            # Stray record between transactions (stale page from an earlier
+            # lap): skippable, replay filters superseded txids.
             continue
+        if record.txid != current.txid:
+            # A readable page inside an open transaction with the wrong
+            # txid: the device rolled this page back to older content.
+            # Same tear contract as an unreadable interior page.
+            discarded += 1
+            current = None
+            break
         current.records.append(record)
         if record.kind is TxKind.COMMIT:
-            if broken:
-                discarded += 1
-            else:
-                committed.append(current)
+            committed.append(current)
             current = None
-            broken = False
     if current is not None:
         discarded += 1  # open at the end of the region: never committed
     return committed, discarded

@@ -389,7 +389,11 @@ class SsdDevice:
                 self.ftl.trim_range(command.lpn, command.page_count)
                 self._complete(command, CommandStatus.OK)
             elif command.op is CommandOp.FLUSH:
-                while self.cache.dirty_count > 0:
+                # A batch the flusher has already taken out of the cache
+                # (dirty_count no longer sees it) records its map updates
+                # only when it lands — FLUSH must wait for it, or the
+                # checkpoint would miss acked data still in flight.
+                while self.cache.dirty_count > 0 or self._active_batch is not None:
                     self._dirty.fire()
                     yield self._drain
                 self.ftl.checkpoint()

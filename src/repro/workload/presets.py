@@ -155,6 +155,21 @@ def cache_topology_stress(wss_gib: int = 1) -> Dict[str, WorkloadSpec]:
     }
 
 
+def apps_wal_stress(wss_gib: int = 1) -> Dict[str, WorkloadSpec]:
+    """Application WAL fault campaigns (extension, not a paper figure).
+
+    :class:`~repro.apps.plan.AppPlan` drives its own IO through the app's
+    filesystem protocol, so the spec only names the working-set envelope;
+    the fsync contrast is a plan knob (``app_fsync``), not a workload.
+    """
+    return {
+        "wal-txns": WorkloadSpec(
+            wss_bytes=wss_gib * GIB,
+            read_fraction=0.0,
+        ),
+    }
+
+
 ALL_FAMILIES = {
     "fig5_request_type": request_type_sweep,
     "fig6_wss": wss_sweep,
@@ -164,5 +179,6 @@ ALL_FAMILIES = {
     "fig9_sequences": sequence_sweep,
     "dirty_cycle": dirty_cycle_stress,
     "cache_topology": cache_topology_stress,
+    "apps_wal": apps_wal_stress,
 }
 """Experiment family -> sweep builder, keyed like the calibration registry."""

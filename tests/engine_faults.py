@@ -45,7 +45,46 @@ def small_plan(faults=4, shard_faults=1, seed=42):
     )
 
 
+def small_app_plan(faults=4, shard_faults=1, seed=42, app="wal", **kwargs):
+    """A small application fault campaign (see :mod:`repro.apps`).
+
+    No-fsync WAL by default so the semantic counters are non-trivial —
+    equality against the baseline then proves the engine preserved real
+    loss accounting, not just zeroes.
+    """
+    from repro.apps import AppPlan
+
+    kwargs.setdefault("app_fsync", False)
+    return AppPlan(
+        spec=WorkloadSpec(),
+        faults=faults,
+        device=SsdConfig(
+            name="sup-dev", capacity_bytes=2 * GIB, init_time_us=50 * MSEC
+        ),
+        base_seed=seed,
+        label="sup-apps-test",
+        shard_faults=shard_faults,
+        warmup_us=30 * MSEC,
+        fault_window_us=120 * MSEC,
+        app=app,
+        **kwargs,
+    )
+
+
+def app_summary(result):
+    """``summary()`` extended with the semantic-outcome counters."""
+    summary = dict(result.summary())
+    summary["app_promises"] = result.app_promises
+    summary["app_intact"] = result.app_intact
+    summary["app_torn_recovered"] = result.app_torn_recovered
+    summary["app_committed_loss"] = result.app_committed_loss
+    summary["app_silent_corruption"] = result.app_silent_corruption
+    summary["app_recovery_failed"] = result.app_recovery_failed
+    return summary
+
+
 _BASELINE = {}
+_APP_BASELINE = {}
 
 
 def clean_summary(faults=4):
@@ -54,6 +93,16 @@ def clean_summary(faults=4):
     if faults not in _BASELINE:
         _BASELINE[faults] = run_plan(small_plan(faults=faults), jobs=1).summary()
     return _BASELINE[faults]
+
+
+def clean_app_summary(faults=4):
+    """Cached semantic summary of an unperturbed serial ``small_app_plan``."""
+    assert TEST_FAULT_ENV not in os.environ, "baseline must run without faults"
+    if faults not in _APP_BASELINE:
+        _APP_BASELINE[faults] = app_summary(
+            run_plan(small_app_plan(faults=faults), jobs=1)
+        )
+    return _APP_BASELINE[faults]
 
 
 class Events:

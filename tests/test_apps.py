@@ -1,0 +1,551 @@
+"""Unit tests for the application workload models and the semantic auditor.
+
+The verdict taxonomy is exercised exhaustively at the pure level — every
+one of the five classes is constructed from crafted observations, and the
+exact-partition contract is proven to fail loudly on any disagreement
+between oracle and audit.  Each app's pure recovery core (WAL redo,
+snapshot decode, segment replay, manifest decode, checkpoint validation)
+is driven with hand-built damage, and one real power-fault cycle per app
+closes the loop against the full simulator stack.
+"""
+
+import pytest
+
+from repro.apps import (
+    AppPlan,
+    AppVerdict,
+    CheckpointLoop,
+    KvStore,
+    Observation,
+    Promise,
+    PromiseLog,
+    SemanticAudit,
+    WalDatabase,
+    classify,
+    classify_promises,
+    run_app_cycle,
+)
+from repro.apps.base import (
+    AppRecorder,
+    content_digest,
+    canonical_json,
+    pack_record,
+    record_crc_ok,
+    seal_record,
+    unpack_record,
+)
+from repro.apps.explain import explain_cycle, locate_cycle, replay_fault_delay
+from repro.apps.hpc import observe_hpc_promises, validate_checkpoint
+from repro.apps.kv import (
+    decode_manifest,
+    kv_value_digest,
+    observe_kv_promises,
+    replay_segments,
+)
+from repro.apps.wal import (
+    load_snapshot_chunks,
+    observe_wal_promises,
+    replay_wal_records,
+    txn_digest,
+)
+from repro.errors import AppAuditError, CampaignError
+from repro.ftl import FtlConfig
+from repro.rand import RandomStreams
+from repro.ssd.device import SsdConfig
+from repro.units import GIB, MSEC
+from repro.workload.spec import WorkloadSpec
+
+
+def promise(pid="p1", digest="d1", seq=1, **detail):
+    return Promise(pid=pid, kind="t", digest=digest, seq=seq, detail=detail)
+
+
+class TestRecordCodec:
+    def test_seal_and_verify(self):
+        sealed = seal_record({"a": "x", "v": 1})
+        assert record_crc_ok(sealed)
+        assert not record_crc_ok({**sealed, "v": 2})
+        assert not record_crc_ok({"a": "x", "v": 1})  # no crc at all
+
+    def test_pack_unpack_roundtrip(self):
+        record = seal_record({"a": "x", "data": "y" * 100})
+        assert unpack_record(pack_record(record)) == record
+
+    def test_unpack_damage(self):
+        assert unpack_record(None) is None
+        assert unpack_record(b"\xff" * 4096) is None
+        assert unpack_record(b"[1,2]" + b"\0" * 100) is None  # not an object
+
+    def test_pack_rejects_oversized(self):
+        with pytest.raises(AppAuditError, match="exceeds one block"):
+            pack_record({"data": "z" * 5000})
+
+
+class TestPromiseLog:
+    def test_ack_supersede_retract(self):
+        log = PromiseLog()
+        log.ack(promise(pid="k", digest="old", seq=1))
+        log.ack(promise(pid="k", digest="new", seq=5))
+        log.ack(promise(pid="j", digest="x", seq=2))
+        assert log.acks == 3 and len(log) == 2
+        assert log.get("k").digest == "new"
+        assert [p.pid for p in log.outstanding()] == ["j", "k"]  # seq order
+        log.retract("j")
+        assert log.retractions == 1 and len(log) == 1
+        with pytest.raises(AppAuditError, match="unknown promise"):
+            log.retract("j")
+
+
+class TestVerdictClassification:
+    """Every verdict class reached, each from a crafted observation."""
+
+    def test_intact(self):
+        verdict, _ = classify(promise(), Observation(digest="d1", damaged=False))
+        assert verdict is AppVerdict.INTACT
+
+    def test_torn_recovered(self):
+        verdict, reason = classify(
+            promise(), Observation(digest="d1", damaged=True, source="snap-2")
+        )
+        assert verdict is AppVerdict.TORN_RECOVERED
+        assert "snap-2" in reason
+
+    def test_committed_loss_gone(self):
+        verdict, _ = classify(promise(), Observation(digest=None, damaged=True))
+        assert verdict is AppVerdict.COMMITTED_LOSS
+
+    def test_committed_loss_no_observation(self):
+        verdict, _ = classify(promise(), None)
+        assert verdict is AppVerdict.COMMITTED_LOSS
+
+    def test_committed_loss_detected_stale(self):
+        verdict, _ = classify(promise(), Observation(digest="other", damaged=True))
+        assert verdict is AppVerdict.COMMITTED_LOSS
+
+    def test_silent_corruption(self):
+        verdict, _ = classify(promise(), Observation(digest="other", damaged=False))
+        assert verdict is AppVerdict.SILENT_CORRUPTION
+
+    def test_recovery_failed_via_all_failed(self):
+        promises = [promise(pid="a", seq=1), promise(pid="b", seq=2)]
+        audit = SemanticAudit.all_failed(promises, "mount failed")
+        assert audit.recovery_failed == 2 and audit.promises == 2
+        assert audit.counts()["recovery_failed"] == 2
+
+    def test_full_partition_all_classes(self):
+        promises = [promise(pid=f"p{i}", digest=f"d{i}", seq=i) for i in range(4)]
+        observations = {
+            "p0": Observation(digest="d0", damaged=False),
+            "p1": Observation(digest="d1", damaged=True),
+            "p2": None,
+            "p3": Observation(digest="wrong", damaged=False),
+        }
+        audit = classify_promises(promises, observations)
+        assert audit.counts() == {
+            "promises": 4,
+            "intact": 1,
+            "torn_recovered": 1,
+            "committed_loss": 1,
+            "silent_corruption": 1,
+            "recovery_failed": 0,
+        }
+
+
+class TestExactPartitionContract:
+    def test_unknown_observation_pid_raises(self):
+        with pytest.raises(AppAuditError, match="unknown promises"):
+            classify_promises([promise(pid="a")], {"ghost": None})
+
+    def test_duplicate_promise_ids_raise(self):
+        audit = SemanticAudit(promises=2)
+        audit.verdicts["a"] = AppVerdict.INTACT
+        with pytest.raises(AppAuditError, match="duplicate"):
+            audit.assert_exact([promise(pid="a"), promise(pid="a")])
+
+    def test_missing_verdict_raises(self):
+        audit = SemanticAudit(promises=1)
+        with pytest.raises(AppAuditError, match="not exact"):
+            audit.assert_exact([promise(pid="a")])
+
+    def test_extra_verdict_raises(self):
+        audit = SemanticAudit(promises=1)
+        audit.verdicts["a"] = AppVerdict.INTACT
+        audit.verdicts["ghost"] = AppVerdict.INTACT
+        with pytest.raises(AppAuditError, match="not exact"):
+            audit.assert_exact([promise(pid="a")])
+
+
+def wal_stream(run_id, txns):
+    """Well-formed WAL blocks for ``txns`` = [(txid, [(key, val), ...])]."""
+    records = []
+    for txid, rows in txns:
+        sealed_rows = [
+            seal_record(
+                {
+                    "a": "walrow",
+                    "run": run_id,
+                    "tx": txid,
+                    "i": index,
+                    "n": len(rows),
+                    "key": key,
+                    "val": val,
+                }
+            )
+            for index, (key, val) in enumerate(rows)
+        ]
+        records.extend(sealed_rows)
+        records.append(
+            seal_record(
+                {
+                    "a": "walcommit",
+                    "run": run_id,
+                    "tx": txid,
+                    "n": len(rows),
+                    "dig": txn_digest(txid, sealed_rows),
+                }
+            )
+        )
+    return records
+
+
+class TestWalReplay:
+    RUN = "run-1"
+
+    def txns(self):
+        return [(1, [("k1", "v1"), ("k2", "v2")]), (2, [("k3", "v3")])]
+
+    def test_clean_replay(self):
+        replay = replay_wal_records(wal_stream(self.RUN, self.txns()), self.RUN)
+        assert sorted(replay.committed) == [1, 2]
+        assert replay.tear_index is None
+
+    def test_torn_interior_block_halts_before_later_commits(self):
+        records = wal_stream(self.RUN, self.txns())
+        records[1] = None  # second row of txn 1 destroyed
+        replay = replay_wal_records(records, self.RUN)
+        assert replay.committed == {}  # txn 2 must NOT be resurrected
+        assert replay.tear_index == 1
+
+    def test_foreign_run_id_halts(self):
+        records = wal_stream(self.RUN, self.txns())
+        records.extend(wal_stream("other-run", [(3, [("x", "y")])]))
+        replay = replay_wal_records(records, self.RUN)
+        assert sorted(replay.committed) == [1, 2]
+        assert replay.tear_index == len(wal_stream(self.RUN, self.txns()))
+
+    def test_open_txn_at_eof_is_torn(self):
+        records = wal_stream(self.RUN, self.txns())[:-1]  # drop txn 2's commit
+        replay = replay_wal_records(records, self.RUN)
+        assert sorted(replay.committed) == [1]
+        assert replay.tear_index == len(records)
+
+    def test_commit_digest_mismatch_halts(self):
+        records = wal_stream(self.RUN, self.txns())
+        bad = dict(records[2])
+        bad["dig"] = "0" * 16
+        records[2] = seal_record({k: v for k, v in bad.items() if k != "crc"})
+        replay = replay_wal_records(records, self.RUN)
+        assert replay.committed == {} and replay.tear_index == 2
+
+
+def snapshot_chunks(run_id, ledger, chunk_hex=40):
+    payload = canonical_json([[t, d] for t, d in ledger])
+    digest = content_digest(payload)
+    data = payload.hex()
+    parts = [data[i : i + chunk_hex] for i in range(0, len(data), chunk_hex)] or [""]
+    return [
+        seal_record(
+            {
+                "a": "walsnap",
+                "run": run_id,
+                "j": index,
+                "m": len(parts),
+                "data": part,
+                "dig": digest,
+                "top": max((t for t, _ in ledger), default=0),
+            }
+        )
+        for index, part in enumerate(parts)
+    ]
+
+
+class TestWalSnapshot:
+    RUN = "run-1"
+    LEDGER = [(1, "aa" * 8), (2, "bb" * 8)]
+
+    def test_roundtrip(self):
+        chunks = snapshot_chunks(self.RUN, self.LEDGER)
+        assert len(chunks) > 1  # multi-chunk: the interesting case
+        assert load_snapshot_chunks(chunks, self.RUN) == dict(self.LEDGER)
+
+    def test_any_damaged_chunk_rejects_whole_snapshot(self):
+        chunks = snapshot_chunks(self.RUN, self.LEDGER)
+        for index in range(len(chunks)):
+            damaged = list(chunks)
+            damaged[index] = None
+            assert load_snapshot_chunks(damaged, self.RUN) is None
+
+    def test_foreign_run_rejects(self):
+        chunks = snapshot_chunks("other", self.LEDGER)
+        assert load_snapshot_chunks(chunks, self.RUN) is None
+
+    def test_observe_torn_recovered_and_loss(self):
+        # txn 1 covered by the snapshot, txn 2 past the tear and uncovered.
+        promises = [
+            promise(pid="txn-1", digest=dict(self.LEDGER)[1], seq=1, txid=1),
+            promise(pid="txn-2", digest="feedface00000000", seq=2, txid=2),
+        ]
+        from repro.apps.wal import WalReplay
+
+        replay = WalReplay(committed={}, tear_index=0)
+        observations = observe_wal_promises(
+            promises, replay, {1: dict(self.LEDGER)[1]}, "snap-1"
+        )
+        audit = classify_promises(promises, observations)
+        assert audit.torn_recovered == 1 and audit.committed_loss == 1
+
+
+def kv_record(run_id, seg, key, val, seq, sealed=True):
+    body = {"a": "kv", "run": run_id, "seg": seg, "q": seq, "key": key, "val": val}
+    return seal_record(body) if sealed else body
+
+
+class TestKvReplay:
+    RUN = "run-1"
+
+    def test_prefix_halt_is_per_segment(self):
+        segments = {
+            1: [
+                kv_record(self.RUN, 1, "a", "1", 1),
+                None,  # seg 1 tears at block 1
+                kv_record(self.RUN, 1, "b", "2", 3),  # unreachable
+            ],
+            2: [kv_record(self.RUN, 2, "c", "3", 2)],
+        }
+        replay = replay_segments(segments, self.RUN)
+        assert set(replay.table) == {"a", "c"}  # seg 2 unaffected by seg 1's tear
+        assert replay.tears == {1: 1}
+        assert replay.seen == [1, 2]
+
+    def test_newest_sequence_wins(self):
+        segments = {
+            1: [kv_record(self.RUN, 1, "k", "old", 1)],
+            2: [kv_record(self.RUN, 2, "k", "new", 9)],
+        }
+        replay = replay_segments(segments, self.RUN)
+        assert replay.table["k"] == (9, kv_value_digest("k", "new", 9))
+
+    def test_checksums_reject_foreign_and_cross_segment_records(self):
+        segments = {
+            1: [kv_record(self.RUN, 2, "a", "1", 1)],  # wrong segment binding
+            2: [kv_record("other", 2, "b", "2", 2)],  # foreign run
+        }
+        replay = replay_segments(segments, self.RUN, checksums=True)
+        assert replay.table == {} and replay.tears == {1: 0, 2: 0}
+
+    def test_no_checksums_believe_rolled_back_record(self):
+        # The FWA path: an unsealed record from an older generation of the
+        # same key replays silently when checksums are off...
+        rolled_back = kv_record("other-lap", 1, "k", "stale", 1, sealed=False)
+        segments = {1: [rolled_back]}
+        trusting = replay_segments(segments, self.RUN, checksums=False)
+        assert trusting.table["k"] == (1, kv_value_digest("k", "stale", 1))
+        # ...and is detected (segment tear) when they are on.
+        checking = replay_segments(segments, self.RUN, checksums=True)
+        assert checking.table == {} and checking.tears == {1: 0}
+
+    def test_decode_manifest(self):
+        good = [seal_record({"a": "kvman", "run": self.RUN, "v": 3, "segs": [4, 5]})]
+        assert decode_manifest(good, self.RUN, 3) == [4, 5]
+        assert decode_manifest(good, self.RUN, 2) is None  # version binding
+        assert decode_manifest(good, "other", 3) is None
+        assert decode_manifest([None], self.RUN, 3) is None
+        assert decode_manifest([], self.RUN, 3) is None
+
+    def test_observe_silent_corruption_without_damage(self):
+        # Replay served a different value for the key, and the promised
+        # location shows no damage: the app cannot tell -> silent.
+        promises = [
+            promise(
+                pid="key-k",
+                digest=kv_value_digest("k", "promised", 7),
+                seq=7,
+                key="k",
+                seg=1,
+                block=0,
+            )
+        ]
+        segments = {1: [kv_record(self.RUN, 1, "k", "other", 7)]}
+        replay = replay_segments(segments, self.RUN)
+        audit = classify_promises(promises, observe_kv_promises(promises, replay))
+        assert audit.silent_corruption == 1
+
+    def test_observe_damaged_location_is_detected_loss(self):
+        promises = [
+            promise(
+                pid="key-k",
+                digest=kv_value_digest("k", "promised", 7),
+                seq=7,
+                key="k",
+                seg=1,
+                block=1,
+            )
+        ]
+        segments = {1: [kv_record(self.RUN, 1, "k", "old", 2), None]}
+        replay = replay_segments(segments, self.RUN)
+        audit = classify_promises(promises, observe_kv_promises(promises, replay))
+        assert audit.committed_loss == 1 and audit.silent_corruption == 0
+
+
+def hpc_checkpoint(run_id, generation, parts):
+    digest = content_digest(canonical_json([generation, parts]))
+    records = [
+        seal_record(
+            {
+                "a": "hpchdr",
+                "run": run_id,
+                "g": generation,
+                "m": len(parts),
+                "dig": digest,
+            }
+        )
+    ]
+    for index, part in enumerate(parts):
+        records.append(
+            seal_record(
+                {"a": "hpcdat", "run": run_id, "g": generation, "j": index, "data": part}
+            )
+        )
+    return records, digest
+
+
+class TestHpcValidation:
+    RUN = "run-1"
+
+    def test_valid_checkpoint(self):
+        records, digest = hpc_checkpoint(self.RUN, 3, ["aa", "bb"])
+        assert validate_checkpoint(records, self.RUN, 3) == digest
+
+    def test_any_single_damage_invalidates(self):
+        records, _ = hpc_checkpoint(self.RUN, 3, ["aa", "bb"])
+        for index in range(len(records)):
+            damaged = list(records)
+            damaged[index] = None
+            assert validate_checkpoint(damaged, self.RUN, 3) is None
+
+    def test_wrong_generation_or_run_invalidates(self):
+        records, _ = hpc_checkpoint(self.RUN, 3, ["aa"])
+        assert validate_checkpoint(records, self.RUN, 4) is None
+        assert validate_checkpoint(records, "other", 3) is None
+
+    def test_truncated_data_invalidates(self):
+        records, _ = hpc_checkpoint(self.RUN, 3, ["aa", "bb"])
+        assert validate_checkpoint(records[:-1], self.RUN, 3) is None
+
+    def test_observe_promises(self):
+        records, digest = hpc_checkpoint(self.RUN, 2, ["aa"])
+        promises = [
+            promise(pid="gen-1", digest="gone0000deadbeef", seq=1, generation=1),
+            promise(pid="gen-2", digest=digest, seq=2, generation=2),
+        ]
+        observations = observe_hpc_promises(promises, {1: None, 2: digest})
+        audit = classify_promises(promises, observations)
+        assert audit.intact == 1 and audit.committed_loss == 1
+
+
+def small_plan(app="wal", **kwargs):
+    kwargs.setdefault("faults", 2)
+    kwargs.setdefault("shard_faults", 2)
+    kwargs.setdefault(
+        "device",
+        SsdConfig(name="apps-unit", capacity_bytes=1 * GIB, init_time_us=30 * MSEC),
+    )
+    return AppPlan(
+        spec=WorkloadSpec(),
+        base_seed=9,
+        warmup_us=30 * MSEC,
+        fault_window_us=100 * MSEC,
+        app=app,
+        **kwargs,
+    )
+
+
+class TestAppCycleIntegration:
+    @pytest.mark.parametrize("app", ["wal", "kv", "hpc"])
+    def test_one_cycle_partitions_exactly(self, app):
+        plan = small_plan(app=app)
+        cycle, debris = run_app_cycle(plan, shard_seed=9, local_index=0, fault_delay=50 * MSEC)
+        assert cycle.app_promises == len(debris.app.promises)
+        assert cycle.app_promises > 0
+        parts = (
+            cycle.app_intact
+            + cycle.app_torn_recovered
+            + cycle.app_committed_loss
+            + cycle.app_silent_corruption
+            + cycle.app_recovery_failed
+        )
+        assert parts == cycle.app_promises  # the exact-partition invariant
+        # Counter aliasing into the base result fields.
+        assert cycle.fwa_failures == cycle.app_committed_loss
+        assert cycle.data_failures == cycle.app_silent_corruption
+        assert cycle.unsafe_shutdowns == 1
+
+    def test_fsync_cycle_never_loses_commits(self):
+        plan = small_plan(
+            app="wal",
+            device=SsdConfig(
+                name="hostile",
+                capacity_bytes=1 * GIB,
+                init_time_us=30 * MSEC,
+                ftl=FtlConfig(page_recovery_prob=0.0, extent_recovery_prob=0.0),
+            ),
+        )
+        for index in range(3):
+            cycle, _ = run_app_cycle(plan, 9, index, 40 * MSEC + index * 17 * MSEC)
+            assert cycle.app_committed_loss == 0
+            assert cycle.app_silent_corruption == 0
+            assert cycle.app_recovery_failed == 0
+
+    def test_recorder_does_not_change_outcomes(self):
+        plan = small_plan(app="kv")
+        bare, _ = run_app_cycle(plan, 9, 0, 60 * MSEC)
+        recorded, _ = run_app_cycle(plan, 9, 0, 60 * MSEC, recorder=AppRecorder())
+        assert vars(bare) == vars(recorded)
+
+
+class TestExplain:
+    def test_locate_cycle_matches_merge_order(self):
+        plan = small_plan(faults=5, shard_faults=2)
+        shards = plan.shards()
+        spans = []
+        consumed = 0
+        for shard in shards:
+            spans.append((consumed, shard))
+            consumed += shard.faults
+        for global_index in range(5):
+            shard, local = locate_cycle(plan, global_index)
+            start = next(s for s, sh in spans if sh.index == shard.index)
+            assert start + local == global_index
+
+    def test_locate_cycle_bounds(self):
+        plan = small_plan(faults=2)
+        with pytest.raises(CampaignError):
+            locate_cycle(plan, 2)
+        with pytest.raises(CampaignError):
+            locate_cycle(plan, -1)
+
+    def test_replay_fault_delay_matches_shard_stream(self):
+        plan = small_plan(faults=4, shard_faults=4)
+        shard = plan.shards()[0]
+        rng = RandomStreams(shard.seed).stream("apps-fault")
+        draws = [rng.randrange(plan.fault_window_us) for _ in range(4)]
+        for index in range(4):
+            assert replay_fault_delay(plan, shard, index) == draws[index]
+
+    def test_report_contains_all_three_views(self):
+        report = explain_cycle(small_plan(app="wal", faults=2), 1)
+        assert "promise log" in report
+        assert "device verdicts" in report
+        assert "semantic verdict chain" in report
+        assert "wal redo:" in report
+        assert "verdict counts" in report

@@ -1,0 +1,302 @@
+"""Property-based tests for the app models' pure recovery cores.
+
+Hypothesis drives the two contracts the semantic auditor rests on,
+against the in-memory models only (no simulator in the loop):
+
+- **partition exactness**: for any promise log and any observation map
+  over it, ``classify_promises`` assigns every promise exactly one
+  verdict and the five counters sum to the promise count;
+- **prefix consistency**: for any well-formed WAL / segment / checkpoint
+  byte stream and any damage point, recovery trusts exactly the
+  undamaged prefix — a committed transaction past the damage is never
+  resurrected, and one before it is never dropped.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.audit import Observation, classify, classify_promises
+from repro.apps.base import Promise, canonical_json, content_digest, seal_record
+from repro.apps.hpc import validate_checkpoint
+from repro.apps.kv import kv_value_digest, replay_segments
+from repro.apps.wal import load_snapshot_chunks, replay_wal_records, txn_digest
+
+RUN = "prop-run"
+
+digests = st.text(alphabet="0123456789abcdef", min_size=16, max_size=16)
+pids = st.text(alphabet="abcdefgh", min_size=1, max_size=6)
+
+
+@st.composite
+def promise_logs(draw):
+    ids = draw(st.lists(pids, min_size=0, max_size=8, unique=True))
+    return [
+        Promise(pid=pid, kind="t", digest=draw(digests), seq=index)
+        for index, pid in enumerate(ids)
+    ]
+
+
+@st.composite
+def observation_maps(draw, promises):
+    observations = {}
+    for promise in promises:
+        choice = draw(st.integers(min_value=0, max_value=4))
+        if choice == 0:
+            continue  # omitted -> committed loss
+        if choice == 1:
+            observations[promise.pid] = None
+        else:
+            digest = promise.digest if draw(st.booleans()) else draw(digests)
+            observations[promise.pid] = Observation(
+                digest=None if choice == 2 else digest,
+                damaged=draw(st.booleans()),
+            )
+    return observations
+
+
+class TestPartitionExactness:
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_every_promise_classified_exactly_once(self, data):
+        promises = data.draw(promise_logs())
+        observations = data.draw(observation_maps(promises))
+        audit = classify_promises(promises, observations)
+        assert set(audit.verdicts) == {p.pid for p in promises}
+        counts = audit.counts()
+        assert counts["promises"] == len(promises)
+        assert (
+            counts["intact"]
+            + counts["torn_recovered"]
+            + counts["committed_loss"]
+            + counts["silent_corruption"]
+            + counts["recovery_failed"]
+        ) == len(promises)
+        # Each verdict agrees with a direct one-promise classification.
+        for promise in promises:
+            expected, _ = classify(promise, observations.get(promise.pid))
+            assert audit.verdicts[promise.pid] is expected
+
+
+keys = st.text(alphabet="kxyz", min_size=1, max_size=4)
+vals = st.text(alphabet="0123456789abcdef", min_size=2, max_size=12)
+
+
+@st.composite
+def wal_transactions(draw):
+    count = draw(st.integers(min_value=1, max_value=5))
+    txns = []
+    for txid in range(1, count + 1):
+        rows = draw(
+            st.lists(st.tuples(keys, vals), min_size=1, max_size=3)
+        )
+        txns.append((txid, rows))
+    return txns
+
+
+def build_wal_stream(txns):
+    """Blocks plus, per txn, the index one past its commit record."""
+    records = []
+    commit_ends = {}
+    for txid, rows in txns:
+        sealed = [
+            seal_record(
+                {
+                    "a": "walrow",
+                    "run": RUN,
+                    "tx": txid,
+                    "i": index,
+                    "n": len(rows),
+                    "key": key,
+                    "val": val,
+                }
+            )
+            for index, (key, val) in enumerate(rows)
+        ]
+        records.extend(sealed)
+        records.append(
+            seal_record(
+                {
+                    "a": "walcommit",
+                    "run": RUN,
+                    "tx": txid,
+                    "n": len(rows),
+                    "dig": txn_digest(txid, sealed),
+                }
+            )
+        )
+        commit_ends[txid] = len(records)
+    return records, commit_ends
+
+
+class TestWalPrefixConsistency:
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_damage_point_cuts_exactly_there(self, data):
+        txns = data.draw(wal_transactions())
+        records, commit_ends = build_wal_stream(txns)
+        damage = data.draw(st.integers(min_value=0, max_value=len(records)))
+        damaged = list(records)
+        if damage < len(records):
+            damaged[damage] = None
+        replay = replay_wal_records(damaged, RUN)
+        expected = {txid for txid, end in commit_ends.items() if end <= damage}
+        assert set(replay.committed) == expected
+        if damage < len(records):
+            assert replay.tear_index == damage
+        else:
+            assert replay.tear_index is None
+        for txid, _ in txns:
+            if txid in replay.committed:
+                assert replay.committed[txid] == txn_digest(
+                    txid,
+                    [r for r in records if r.get("a") == "walrow" and r["tx"] == txid],
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_bit_rot_never_yields_extra_commits(self, data):
+        # Corrupting one field of one record (rather than nulling it) must
+        # never ADD a committed transaction.
+        txns = data.draw(wal_transactions())
+        records, _ = build_wal_stream(txns)
+        index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        clean = set(replay_wal_records(records, RUN).committed)
+        victim = dict(records[index])
+        victim["val" if "val" in victim else "dig"] = "tampered"
+        mutated = list(records)
+        mutated[index] = victim  # crc now stale -> must be detected
+        replay = replay_wal_records(mutated, RUN)
+        assert set(replay.committed) <= clean
+        assert replay.tear_index is not None and replay.tear_index <= index
+
+
+@st.composite
+def ledgers(draw):
+    count = draw(st.integers(min_value=0, max_value=6))
+    return [(txid + 1, draw(digests)) for txid in range(count)]
+
+
+def build_snapshot(ledger, chunk_hex):
+    payload = canonical_json([[t, d] for t, d in ledger])
+    digest = content_digest(payload)
+    data = payload.hex()
+    parts = [data[i : i + chunk_hex] for i in range(0, len(data), chunk_hex)] or [""]
+    return [
+        seal_record(
+            {
+                "a": "walsnap",
+                "run": RUN,
+                "j": index,
+                "m": len(parts),
+                "data": part,
+                "dig": digest,
+                "top": len(ledger),
+            }
+        )
+        for index, part in enumerate(parts)
+    ]
+
+
+class TestSnapshotAllOrNothing:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_roundtrip_and_single_damage_rejection(self, data):
+        ledger = data.draw(ledgers())
+        chunk_hex = data.draw(st.sampled_from([8, 40, 400]))
+        chunks = build_snapshot(ledger, chunk_hex)
+        assert load_snapshot_chunks(chunks, RUN) == dict(ledger)
+        index = data.draw(st.integers(min_value=0, max_value=len(chunks) - 1))
+        damaged = list(chunks)
+        damaged[index] = None
+        assert load_snapshot_chunks(damaged, RUN) is None
+        assert load_snapshot_chunks(chunks, "other-run") is None
+
+
+@st.composite
+def segment_maps(draw):
+    segs = draw(st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=3, unique=True))
+    seq = 0
+    segments = {}
+    for seg in sorted(segs):
+        blocks = []
+        for _ in range(draw(st.integers(min_value=0, max_value=5))):
+            seq += 1
+            blocks.append(
+                seal_record(
+                    {
+                        "a": "kv",
+                        "run": RUN,
+                        "seg": seg,
+                        "q": seq,
+                        "key": draw(keys),
+                        "val": draw(vals),
+                    }
+                )
+            )
+        segments[seg] = blocks
+    return segments
+
+
+class TestKvPrefixConsistency:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_table_equals_lww_over_undamaged_prefixes(self, data):
+        segments = data.draw(segment_maps())
+        damage = {}
+        damaged = {}
+        for seg, blocks in segments.items():
+            cut = data.draw(
+                st.integers(min_value=0, max_value=len(blocks))
+            )
+            if cut < len(blocks):
+                damage[seg] = cut
+                damaged[seg] = blocks[:cut] + [None] + blocks[cut + 1 :]
+            else:
+                damaged[seg] = list(blocks)
+        replay = replay_segments(damaged, RUN)
+        assert replay.tears == damage
+        # Reference: last-write-wins over exactly the undamaged prefixes.
+        expected = {}
+        for seg in sorted(segments):
+            prefix = segments[seg][: damage.get(seg, len(segments[seg]))]
+            for record in prefix:
+                key, val, seq = record["key"], record["val"], record["q"]
+                if key not in expected or seq >= expected[key][0]:
+                    expected[key] = (seq, kv_value_digest(key, val, seq))
+        assert replay.table == expected
+
+
+@st.composite
+def checkpoints(draw):
+    generation = draw(st.integers(min_value=1, max_value=9))
+    parts = draw(st.lists(vals, min_size=1, max_size=4))
+    digest = content_digest(canonical_json([generation, parts]))
+    records = [
+        seal_record(
+            {"a": "hpchdr", "run": RUN, "g": generation, "m": len(parts), "dig": digest}
+        )
+    ]
+    for index, part in enumerate(parts):
+        records.append(
+            seal_record(
+                {"a": "hpcdat", "run": RUN, "g": generation, "j": index, "data": part}
+            )
+        )
+    return generation, records, digest
+
+
+class TestCheckpointAllOrNothing:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_valid_roundtrip_any_damage_invalidates(self, data):
+        generation, records, digest = data.draw(checkpoints())
+        assert validate_checkpoint(records, RUN, generation) == digest
+        index = data.draw(st.integers(min_value=0, max_value=len(records) - 1))
+        damaged = list(records)
+        damaged[index] = None
+        assert validate_checkpoint(damaged, RUN, generation) is None
+        # Truncation and reordering are damage too.
+        if len(records) > 1:
+            assert validate_checkpoint(records[:-1], RUN, generation) is None
+            swapped = [records[0]] + records[1:][::-1]
+            if swapped != records:
+                assert validate_checkpoint(swapped, RUN, generation) is None

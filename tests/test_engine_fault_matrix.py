@@ -35,11 +35,14 @@ from repro.engine.remote import (
 )
 from repro.errors import CampaignError, RemoteProtocolError
 from tests.engine_faults import (
+    app_summary,
+    clean_app_summary,
     clean_summary,
     drain_workers,
     FAST,
     free_port,
     run_distributed,
+    small_app_plan,
     small_plan,
     spawn_worker,
 )
@@ -98,6 +101,46 @@ class TestFaultMatrix:
         if mode == "slow":
             assert result.execution.retries == 0
         else:
+            assert result.execution.retries >= 1
+
+
+class TestAppPlanFaultMatrix:
+    """The same matrix, driven by an :class:`repro.apps.AppPlan`.
+
+    App campaigns are plan subclasses like any other, so the engine's
+    reliability claim must hold for them unchanged — including the
+    semantic-outcome counters, which ride ``FaultCycleResult`` and must
+    survive retries, requeues and process hops bit-for-bit.
+    """
+
+    @pytest.mark.parametrize("lane", LANES)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_perturbed_app_summary_equals_serial_baseline(
+        self, mode, lane, monkeypatch
+    ):
+        if mode == "exit" and lane == "serial":
+            pytest.skip("os._exit in-process would kill the test runner itself")
+        baseline = clean_app_summary()
+        fault = fault_spec(mode, lane)
+        if lane == "remote":
+            result, codes = run_distributed(
+                small_app_plan(), workers=2, worker_fault=fault
+            )
+            if mode == "exit":
+                assert sorted(codes) == [0, 13]
+            else:
+                assert codes == [0, 0]
+        else:
+            monkeypatch.setenv(TEST_FAULT_ENV, fault)
+            result = run_plan(
+                small_app_plan(),
+                jobs=1 if lane == "serial" else 2,
+                retry_policy=FAST,
+                shard_timeout_s=1.0 if (mode == "hang" and lane == "pool") else None,
+            )
+        assert app_summary(result) == baseline
+        assert not result.execution.degraded
+        if mode != "slow":
             assert result.execution.retries >= 1
 
 

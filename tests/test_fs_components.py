@@ -152,6 +152,47 @@ class TestJournalDecode:
         assert [t.txid for t in committed] == [3]
         assert discarded == 0
 
+    def test_torn_interior_never_resurrects_later_commit(self):
+        # Tear inside txn 1, then a fully intact txn 2: the decode must stop
+        # at the tear instead of resurrecting the later commit (replay is a
+        # strict prefix of journal write order).
+        pages = txn_pages(1, payload_count=2)
+        pages[1] = None  # torn interior page of txn 1
+        pages += txn_pages(2)
+        committed, discarded = decode_transactions(pages)
+        assert committed == []
+        assert discarded == 1
+
+    def test_torn_interior_own_commit_not_resurrected(self):
+        pages = [
+            TxRecord(TxKind.BEGIN, 1).encode(),
+            None,  # payload page lost
+            TxRecord(TxKind.COMMIT, 1).encode(),
+        ]
+        committed, discarded = decode_transactions(pages)
+        assert committed == []
+        assert discarded == 1
+
+    def test_rolled_back_interior_page_is_a_tear(self):
+        # A readable page inside txn 5 carrying a stale txn-3 record (the
+        # device rolled the page back): same contract as an unreadable tear —
+        # txn 5's own commit after it must not apply with payload missing.
+        pages = [
+            TxRecord(TxKind.BEGIN, 5).encode(),
+            TxRecord(TxKind.INODE, 3, {"inode": "stale"}).encode(),
+            TxRecord(TxKind.INODE, 5, {"inode": "5:0"}).encode(),
+            TxRecord(TxKind.COMMIT, 5).encode(),
+        ]
+        committed, discarded = decode_transactions(pages)
+        assert committed == []
+        assert discarded == 1
+
+    def test_torn_tail_after_committed_txns_tolerated(self):
+        pages = txn_pages(1) + txn_pages(2) + [None, None, None]
+        committed, discarded = decode_transactions(pages)
+        assert [t.txid for t in committed] == [1, 2]
+        assert discarded == 0
+
     def test_record_decode_robustness(self):
         assert TxRecord.decode(None) is None
         assert TxRecord.decode(b"not json") is None

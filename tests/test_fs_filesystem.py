@@ -12,6 +12,7 @@ from repro.fs import (
 )
 from repro.ftl import FtlConfig
 from repro.host import HostSystem
+from repro.ssd.command import CommandOp, CommandStatus
 from repro.ssd.device import SsdConfig
 from repro.units import GIB, MSEC
 
@@ -335,3 +336,60 @@ class TestRenameAndTruncate:
         fresh, _ = remount(host, fs)
         assert fresh.stat("f.bin").size_bytes == 4096
         assert fresh.read_file("f.bin") == b"q" * 4096
+
+
+class TestFlushBarrierRegressions:
+    """Durability holes closed while building the app workloads: a FLUSH
+    completing with IO_ERROR must surface to the caller (fsync is allowed
+    to fail, never to lie), and the checkpoint a journal wrap writes must
+    itself be flushed before the old lap is overwritten."""
+
+    def test_failed_flush_raises_instead_of_acking(self):
+        host, fs = make_fs(seed=90)
+        fs.create("f.bin")
+        fs.write_file("f.bin", b"d" * 4096)
+        real_submit = host.ssd.submit
+
+        def failing_submit(command):
+            if command.op is CommandOp.FLUSH:
+                command.status = CommandStatus.IO_ERROR
+                if command.on_complete is not None:
+                    command.on_complete(command)
+                return
+            real_submit(command)
+
+        host.ssd.submit = failing_submit
+        with pytest.raises(FsError, match="flush barrier failed"):
+            fs.fsync("f.bin")
+        with pytest.raises(FsError, match="flush barrier failed"):
+            fs.write_file("f.bin", b"e" * 4096, sync=True)
+        host.ssd.submit = real_submit
+        fs.fsync("f.bin")  # barrier works again once FLUSH succeeds
+
+    def test_journal_wrap_checkpoint_survives_power_cut(self):
+        # Zero-luck FTL (map journal only commits at FLUSH, no recovery
+        # fortune) and a tiny FS journal so synced writes force wraps.
+        # Every wrap folds the journal into a checkpoint; if that
+        # checkpoint were not flushed before the journal restarted, the
+        # power cut would roll it back after the old journal lap had
+        # already been overwritten — losing previously-fsynced files.
+        host, fs = make_fs(
+            seed=91,
+            journal_blocks=8,
+            capacity_bytes=1 * GIB,
+            ftl=FtlConfig(
+                journal_commit_interval_us=10_000 * MSEC,
+                page_recovery_prob=0.0,
+                extent_recovery_prob=0.0,
+            ),
+        )
+        payloads = {}
+        for index in range(10):
+            name = f"f{index}.bin"
+            fs.create(name)
+            payloads[name] = bytes([index]) * 4096
+            fs.write_file(name, payloads[name], sync=True)
+        assert fs.checkpoints_written > 1, "journal never wrapped"
+        fresh, report = remount(host, fs)
+        for name, payload in payloads.items():
+            assert fresh.read_file(name) == payload, name
