@@ -254,11 +254,13 @@ def section_table1():
 def section_ablations():
     from bench_ablation_cache import regenerate_cache_ablation
     from bench_ablation_discharge import regenerate_discharge_ablation
+    from bench_ablation_gc_commit import regenerate_gc_commit_ablation
     from bench_ablation_journal_interval import regenerate_journal_ablation
 
     cache = regenerate_cache_ablation()
     discharge = regenerate_discharge_ablation()
     journal = regenerate_journal_ablation()
+    gc_commit = regenerate_gc_commit_ablation()
     cache_rows = [
         [label, r.data_failures, r.fwa_failures, f"{r.data_loss_per_fault:.2f}"]
         for label, r in cache.items()
@@ -290,7 +292,32 @@ def section_ablations():
                 for p in points
             ],
         )
-        + "\n\n**Verdict: all three reproduced.**\n"
+        + "\n\n### GC relocate-before-commit hole vs `gc_commit_on_relocate`\n\n"
+        "GC relocates a victim block's valid pages and erases the source "
+        "while the new bindings are still volatile; a power fault before "
+        "the next periodic commit rolls relocated LPNs back into the erased "
+        "block, losing *flushed* data.  The zero-luck contrast (OOB recovery "
+        "probabilities 0.0, periodic timer parked) shows the window exactly; "
+        "`gc_commit_on_relocate=True` commits between relocation and erase "
+        "and closes it.  The knob defaults **off**: the paper's §IV "
+        "stranded-update statistics (and the calibrated tests) assume the "
+        "periodic timer is the only commit cadence, so the fix is opt-in "
+        "rather than a recalibration.  The knob feeds the plan fingerprint, "
+        "so cached (checkpoint/CAS) results never cross settings.\n\n"
+        + md_table(
+            ["gc_commit_on_relocate", "relocated", "stranded", "flushed lost"],
+            [
+                [
+                    "on" if point.commit_on_relocate else "off (default)",
+                    point.pages_relocated,
+                    point.stranded_updates,
+                    point.flushed_pages_lost,
+                ]
+                for point in gc_commit.values()
+            ],
+        )
+        + "\n\n**Verdict: all four reproduced** (the GC contrast documents a "
+        "deliberate model property, not a paper number).\n"
     )
 
 

@@ -1,0 +1,284 @@
+#!/usr/bin/env python
+"""End-to-end campaign-service smoke test (used by CI).
+
+Boots a real ``repro serve`` daemon, attaches two persistent ``repro
+worker --persist`` subprocesses (slowed so shards stay in flight), and
+drives the full client surface over loopback TCP:
+
+1. ``repro submit`` a campaign and require the summary table to be
+   byte-identical to an uninterrupted serial ``repro campaign`` run,
+   with all shards executed by workers (``0 from cache``).
+2. While that submission runs, attach a ``repro follow`` observer and
+   require it to stream the campaign to completion on its own.
+3. ``repro submit`` the identical campaign again and require the same
+   byte-identical table with **zero** shards executed — every shard
+   served from the content-addressed result cache.
+4. SIGTERM the daemon **mid-run** on a second campaign, boot a fresh
+   daemon over the same CAS (the persistent workers reconnect to it on
+   their own), resubmit, and require completion — shards cached before
+   the kill served from the CAS, the rest re-executed — with a summary
+   byte-identical to the serial baseline.
+5. SIGTERM the daemon; it must exit 0, and both persistent workers must
+   end their persist loops cleanly (exit 0) once no coordinator answers.
+
+The CAS directory (entries + campaign traces) is the diagnostic
+artifact: set ``SERVE_SMOKE_ARTIFACT_DIR`` to keep it (CI uploads it).
+
+Exit code 0 on success, 1 on any mismatch.  Run from the repo root:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from resume_smoke import check_trace_schema, cli_env, run_cli, summary_table
+
+SPEC = [
+    "--device", "ssd-a",
+    "--faults", "4",
+    "--shard-faults", "1",
+    "--wss-gib", "2",
+    "--seed", "9",
+]
+# A second, distinct campaign (different seed → different fingerprint)
+# for the kill-mid-run phase, so its cache starts cold.
+SPEC2 = SPEC[:-1] + ["10"]
+FAULT_ENV = "REPRO_ENGINE_TEST_FAULT"
+ARTIFACT_DIR_ENV = "SERVE_SMOKE_ARTIFACT_DIR"
+
+
+def free_port():
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+def start_serve(port, cas_root):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--listen", f"127.0.0.1:{port}", "--cas", str(cas_root)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=cli_env(),
+    )
+
+
+def start_worker(port, shard_seconds):
+    env = cli_env()
+    env[FAULT_ENV] = f"slow:*:*:{shard_seconds}"  # keep shards in flight
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker",
+         "--connect", f"127.0.0.1:{port}", "--connect-timeout", "10",
+         "--persist"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+
+
+def start_submit(port, spec=SPEC):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "submit",
+         "--connect", f"127.0.0.1:{port}", *spec],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=cli_env(),
+    )
+
+
+def submit_table(stdout):
+    """The submit summary table (the submission banner dropped)."""
+    lines = [
+        line
+        for line in stdout.splitlines()
+        if line.strip() and not line.startswith("submitting ")
+    ]
+    assert lines, "submit produced no summary table"
+    return lines
+
+
+def drain(proc, timeout=60):
+    try:
+        out, err = proc.communicate(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        out, err = proc.communicate()
+    return proc.returncode, out, err
+
+
+def follow_until_done(port, submitter, timeout=240):
+    """Attach a follower to the in-flight campaign, retrying the race.
+
+    ``repro follow`` errors out ("no active campaign") when it beats the
+    submission to the daemon; retry until it attaches or the submission
+    ends without it ever succeeding.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        follow = run_cli(
+            ["follow", "--connect", f"127.0.0.1:{port}"], cli_env()
+        )
+        if follow.returncode == 0:
+            return follow
+        if submitter.poll() is not None:
+            return None  # submission already over; follower never attached
+        time.sleep(0.05)
+    return None
+
+
+def main():
+    baseline = run_cli(["campaign", *SPEC, "--jobs", "1"], cli_env())
+    if baseline.returncode != 0:
+        print(f"FAIL: baseline exited {baseline.returncode}\n{baseline.stderr}")
+        return 1
+    baseline_table = summary_table(baseline.stdout)
+    baseline2 = run_cli(["campaign", *SPEC2, "--jobs", "1"], cli_env())
+    if baseline2.returncode != 0:
+        print(f"FAIL: baseline2 exited {baseline2.returncode}\n{baseline2.stderr}")
+        return 1
+    baseline2_table = summary_table(baseline2.stdout)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cas_root = Path(os.environ.get(ARTIFACT_DIR_ENV) or tmp) / "cas"
+        cas_root.mkdir(parents=True, exist_ok=True)
+        port = free_port()
+        daemon = start_serve(port, cas_root)
+        workers = [start_worker(port, 0.3) for _ in range(2)]
+        try:
+            print("--- submit #1: executed by the persistent fleet ---")
+            first = start_submit(port)
+            follow = follow_until_done(port, first)
+            code, out1, err1 = drain(first, timeout=300)
+            if code != 0:
+                print(f"FAIL: first submit exited {code}\n{err1}")
+                return 1
+            if submit_table(out1) != baseline_table:
+                print("FAIL: served summary differs from serial baseline")
+                print(out1)
+                return 1
+            if "4 shard(s) executed, 0 from cache" not in err1:
+                print(f"FAIL: first submission was not fully executed\n{err1}")
+                return 1
+            print("submit #1 ok: summary matches serial baseline")
+
+            if follow is None:
+                print("FAIL: follower never attached to the live campaign")
+                return 1
+            if "complete: 4 shard(s) executed" not in follow.stdout:
+                print(f"FAIL: follower summary wrong\n{follow.stdout}")
+                return 1
+            if "shard-finished" not in follow.stderr:
+                print(f"FAIL: follower streamed no shard events\n{follow.stderr}")
+                return 1
+            print("follow ok: observer streamed the campaign to completion")
+
+            print("--- submit #2: identical campaign, served from CAS ---")
+            second = start_submit(port)
+            code, out2, err2 = drain(second, timeout=300)
+            if code != 0:
+                print(f"FAIL: second submit exited {code}\n{err2}")
+                return 1
+            if submit_table(out2) != submit_table(out1):
+                print("FAIL: resubmission summary is not byte-identical")
+                print(out2)
+                return 1
+            if "0 shard(s) executed, 4 from cache" not in err2:
+                print(f"FAIL: resubmission touched a worker\n{err2}")
+                return 1
+            print("submit #2 ok: bit-identical summary, zero shards executed")
+
+            print("--- kill mid-run, restart over the same CAS, resubmit ---")
+            cached_before = len(list(cas_root.glob("*/*.json")))
+            third = start_submit(port, SPEC2)
+            # SIGTERM the daemon once the new campaign's first shard has
+            # reached the CAS but (usually) before the rest have.
+            deadline = time.monotonic() + 240
+            while time.monotonic() < deadline:
+                if len(list(cas_root.glob("*/*.json"))) > cached_before:
+                    break
+                if third.poll() is not None:
+                    break
+                time.sleep(0.02)
+            daemon.send_signal(signal.SIGTERM)
+            code, _, err3 = drain(third, timeout=120)
+            daemon_code, _, daemon_err = drain(daemon, timeout=60)
+            if daemon_code != 0:
+                print(f"FAIL: killed daemon exited {daemon_code}\n{daemon_err}")
+                return 1
+            if code == 0:
+                print("note: campaign finished before the signal; resubmit "
+                      "will be a pure CAS hit")
+            else:
+                print(f"interrupted mid-run (submit exit {code})")
+            daemon = start_serve(port, cas_root)  # workers reconnect alone
+            fourth = start_submit(port, SPEC2)
+            code, out4, err4 = drain(fourth, timeout=300)
+            if code != 0:
+                print(f"FAIL: post-restart resubmit exited {code}\n{err4}")
+                return 1
+            if submit_table(out4) != baseline2_table:
+                print("FAIL: post-restart summary differs from serial baseline")
+                print(out4)
+                return 1
+            counts = re.search(r"(\d+) shard\(s\) executed, (\d+) from cache", err4)
+            if counts is None:
+                print(f"FAIL: no CAS accounting in resubmit output\n{err4}")
+                return 1
+            executed, cached = int(counts.group(1)), int(counts.group(2))
+            if executed + cached != 4 or cached < 1:
+                print(f"FAIL: resubmit ran {executed}, cached {cached}; the "
+                      "pre-kill shards should have survived in the CAS")
+                return 1
+            print(f"restart ok: {cached} shard(s) from the pre-kill CAS, "
+                  f"{executed} re-executed, summary matches serial")
+        finally:
+            if daemon.poll() is None:
+                daemon.send_signal(signal.SIGTERM)
+            daemon_code, daemon_out, daemon_err = drain(daemon, timeout=60)
+            worker_codes = [drain(worker)[0] for worker in workers]
+
+        if daemon_code != 0:
+            print(f"FAIL: daemon exited {daemon_code}\n{daemon_err}")
+            return 1
+        if "[serve] stopped" not in daemon_err:
+            print(f"FAIL: daemon never reported a clean stop\n{daemon_err}")
+            return 1
+        if worker_codes != [0, 0]:
+            print(f"FAIL: persistent workers exited {worker_codes}, expected 0")
+            return 1
+
+        entries = sorted(cas_root.glob("*/*.json"))
+        if len(entries) != 8:  # two campaigns × four shards
+            print(f"FAIL: expected 8 CAS entries, found {len(entries)}")
+            return 1
+        traces = sorted((cas_root / "traces").glob("*.trace.jsonl"))
+        if not traces:
+            print("FAIL: the service left no campaign trace behind")
+            return 1
+        for trace in traces:
+            error = check_trace_schema(trace)
+            if error:
+                print(f"FAIL: {error}")
+                return 1
+
+    print("OK: campaign service executed, streamed, cached, and stopped cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

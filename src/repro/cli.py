@@ -35,10 +35,16 @@ from repro.engine import (
     ConsoleProgress,
     DEFAULT_SHARD_FAULTS,
     fanout_hooks,
+    format_eta,
     run_plan,
     TraceWriter,
 )
-from repro.errors import CampaignInterrupted, CheckpointError, EngineTraceError
+from repro.errors import (
+    CampaignError,
+    CampaignInterrupted,
+    CheckpointError,
+    EngineTraceError,
+)
 from repro.ssd import models
 from repro.units import GIB, KIB
 from repro.workload.spec import AccessPattern, WorkloadSpec
@@ -415,6 +421,126 @@ def build_parser() -> argparse.ArgumentParser:
         help="coordinator address printed by `repro campaign/fleet --listen`",
     )
     worker.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to keep retrying the initial connection (default 10)",
+    )
+    worker.add_argument(
+        "--persist",
+        action="store_true",
+        help=(
+            "outlive individual campaigns: reconnect after coordinator "
+            "restarts and serve successive `repro serve` submissions; ends "
+            "once no coordinator answers within --connect-timeout"
+        ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the campaign service daemon (submissions + result cache)",
+    )
+    serve.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to listen on (default 127.0.0.1:0 — a free port)",
+    )
+    serve.add_argument(
+        "--cas",
+        required=True,
+        metavar="DIR",
+        help="content-addressed result store directory (created on demand)",
+    )
+    serve.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="requeue a shard whose worker stops heartbeating (default 15)",
+    )
+    serve.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retry budget per shard before quarantine/failure (default 2)",
+    )
+    serve.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="requeue a shard running longer than this",
+    )
+    serve.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="complete campaigns degraded instead of failing them",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a campaign to a `repro serve` daemon"
+    )
+    submit.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="campaign service address printed by `repro serve`",
+    )
+    submit.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to keep retrying the initial connection (default 10)",
+    )
+    submit.add_argument("--device", default="ssd-a", help="device preset name")
+    submit.add_argument("--faults", type=int, default=10)
+    submit.add_argument("--seed", type=int, default=1)
+    submit.add_argument("--wss-gib", type=int, default=16)
+    submit.add_argument(
+        "--read-pct", type=int, default=0, choices=range(0, 101), metavar="0-100"
+    )
+    submit.add_argument("--size-min-kib", type=int, default=4)
+    submit.add_argument("--size-max-kib", type=int, default=1024)
+    submit.add_argument(
+        "--pattern", choices=["random", "sequential"], default="random"
+    )
+    submit.add_argument(
+        "--sequence", choices=["RAR", "RAW", "WAR", "WAW"], default=None
+    )
+    submit.add_argument(
+        "--iops", type=float, default=None, help="open-loop requested IOPS"
+    )
+    submit.add_argument(
+        "--shard-faults",
+        type=int,
+        default=DEFAULT_SHARD_FAULTS,
+        help="max faults per engine shard (determines available parallelism)",
+    )
+    submit.add_argument(
+        "--progress",
+        action="store_true",
+        help="print the streamed engine events to stderr",
+    )
+
+    follow = sub.add_parser(
+        "follow",
+        help="stream an active `repro serve` campaign's events read-only",
+    )
+    follow.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="campaign service address printed by `repro serve`",
+    )
+    follow.add_argument(
+        "--fingerprint",
+        default=None,
+        help="campaign to follow (default: the most recently accepted one)",
+    )
+    follow.add_argument(
         "--connect-timeout",
         type=float,
         default=10.0,
@@ -953,7 +1079,110 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 def _cmd_worker(args: argparse.Namespace) -> int:
     from repro.engine import run_worker
 
-    return run_worker(args.connect, connect_timeout_s=args.connect_timeout)
+    return run_worker(
+        args.connect,
+        connect_timeout_s=args.connect_timeout,
+        persist=args.persist,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.engine.serve import run_serve
+    from repro.engine.wire import DEFAULT_LEASE_TIMEOUT_S
+
+    return run_serve(
+        args.listen,
+        args.cas,
+        lease_timeout_s=(
+            args.lease_timeout
+            if args.lease_timeout is not None
+            else DEFAULT_LEASE_TIMEOUT_S
+        ),
+        quarantine=args.quarantine,
+        shard_timeout_s=args.shard_timeout,
+        max_retries=args.max_retries,
+    )
+
+
+def _render_streamed_record(record) -> None:
+    """One stderr line per live event streamed from the campaign service."""
+    eta = format_eta(record.eta_s)
+    if record.shard_index < 0:
+        scope = f"all {record.shard_count} shards"
+    else:
+        scope = f"shard {record.shard_index + 1}/{record.shard_count}"
+    line = (
+        f"[serve] {record.kind:<14} {record.plan_label} {scope} | "
+        f"shards {record.shards_done}/{record.shards_total} | "
+        f"cycles {record.cycles_done}/{record.cycles_total} | ETA {eta}"
+    )
+    if record.detail:
+        line += f" | {record.detail}"
+    print(line, file=sys.stderr)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.engine.serve import submit_campaign
+
+    plan = CampaignPlan(
+        spec=_spec_from_args(args),
+        faults=args.faults,
+        device=models.by_name(args.device),
+        base_seed=args.seed,
+        shard_faults=args.shard_faults,
+    )
+    print(
+        f"submitting {args.faults} faults against {plan.display_label()} "
+        f"({plan.shard_count()} shards) to {args.connect} ..."
+    )
+    try:
+        outcome = submit_campaign(
+            args.connect,
+            [plan],
+            connect_timeout_s=args.connect_timeout,
+            on_record=_render_streamed_record if args.progress else None,
+        )
+    except CampaignError as exc:
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 1
+    result = outcome.results[0]
+    summary = result.summary()
+    print(
+        ascii_table(
+            list(summary.keys()),
+            [list(summary.values())],
+            title="campaign summary",
+        )
+    )
+    print(
+        f"[serve] campaign {outcome.fingerprint}: {outcome.executed} shard(s) "
+        f"executed, {outcome.cas_hits} from cache"
+        + (", coalesced with an in-flight submission" if outcome.coalesced else ""),
+        file=sys.stderr,
+    )
+    _report_execution(result)
+    return 1 if result.execution.shards_quarantined else 0
+
+
+def _cmd_follow(args: argparse.Namespace) -> int:
+    from repro.engine.serve import follow_campaign
+
+    try:
+        summary = follow_campaign(
+            args.connect,
+            fingerprint=args.fingerprint,
+            connect_timeout_s=args.connect_timeout,
+            on_record=_render_streamed_record,
+        )
+    except CampaignError as exc:
+        print(f"[serve] {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"[serve] campaign {summary.get('fingerprint')} complete: "
+        f"{summary.get('executed')} shard(s) executed, "
+        f"{summary.get('cas_hits')} from cache"
+    )
+    return 0
 
 
 def _report_one_trace(path, top: int) -> int:
@@ -1139,6 +1368,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_fleet(args)
     if args.command == "worker":
         return _cmd_worker(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "follow":
+        return _cmd_follow(args)
     if args.command == "trace":
         return _cmd_trace_report(args)
     if args.command == "checkpoint":

@@ -36,12 +36,14 @@ from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.results import CampaignResult, ExecutionStats, ShardTiming
+from repro.engine.cas import ResultCAS
 from repro.engine.checkpoint import (
     CheckpointJournal,
     compact_journal,
     CompactionStats,
     load_resume_state,
     plans_fingerprint,
+    result_schema_version,
     ResumeState,
 )
 from repro.engine.executors import (
@@ -72,7 +74,19 @@ from repro.engine.remote import (
     run_worker,
     worker_identity,
 )
-from repro.engine.supervisor import RetryPolicy, ShardRun, ShardSupervisor
+from repro.engine.serve import (
+    CampaignService,
+    follow_campaign,
+    run_serve,
+    SubmissionOutcome,
+    submit_campaign,
+)
+from repro.engine.supervisor import (
+    merge_plan_runs,
+    RetryPolicy,
+    ShardRun,
+    ShardSupervisor,
+)
 from repro.engine.trace import (
     build_trace_report,
     load_trace_report,
@@ -93,42 +107,7 @@ from repro.errors import CampaignError
 
 PlanDoneHook = Callable[[int, CampaignResult], None]
 
-
-def _merge_plan_runs(plan: CampaignPlan, ordered_runs: List[ShardRun]) -> CampaignResult:
-    """Fold one plan's shard runs into a merged result + execution stats.
-
-    Quarantined shards contribute no cycles (the merged result is
-    *degraded*, and says so through ``result.execution``); a plan whose
-    every shard was quarantined still completes, as an empty result.
-    """
-    completed = tuple(run.result for run in ordered_runs if run.result is not None)
-    if completed:
-        merged = merge_shard_results(plan, completed)
-    else:
-        merged = CampaignResult(label=plan.display_label())
-    stats = ExecutionStats()
-    for index, run in enumerate(ordered_runs):
-        stats.attempts.append(run.attempts)
-        stats.retries += max(0, run.attempts - 1)
-        if run.status == "resumed":
-            stats.shards_resumed += 1
-            stats.retries -= max(0, run.attempts - 1)  # not retried *this* run
-        elif run.status == "quarantined":
-            stats.shards_quarantined += 1
-            stats.quarantined.append(f"{plan.display_label()}#s{index}")
-        else:
-            stats.shards_completed += 1
-        stats.timings.append(
-            ShardTiming(
-                shard_index=index,
-                status=run.status,
-                attempts=run.attempts,
-                pickup_latency_s=run.pickup_latency_s,
-                duration_s=run.duration_s,
-            )
-        )
-    merged.execution = stats
-    return merged
+_merge_plan_runs = merge_plan_runs
 
 
 def run_plans(
@@ -298,6 +277,7 @@ def run_plan(
 
 __all__ = [
     "CampaignPlan",
+    "CampaignService",
     "CheckpointJournal",
     "CompactionStats",
     "ConsoleProgress",
@@ -311,6 +291,7 @@ __all__ = [
     "ProgressEvent",
     "ProgressHook",
     "RemoteExecutor",
+    "ResultCAS",
     "ResumeState",
     "RetryPolicy",
     "SerialExecutor",
@@ -318,6 +299,7 @@ __all__ = [
     "ShardSpec",
     "ShardSupervisor",
     "ShardTiming",
+    "SubmissionOutcome",
     "TraceCursor",
     "TraceRecord",
     "TraceReport",
@@ -328,17 +310,22 @@ __all__ = [
     "compact_journal",
     "derive_shard_seed",
     "fanout_hooks",
+    "follow_campaign",
     "follow_trace",
     "format_eta",
     "load_resume_state",
     "load_trace_report",
     "make_executor",
+    "merge_plan_runs",
     "merge_shard_results",
     "parse_address",
     "plans_fingerprint",
     "read_trace",
+    "result_schema_version",
     "run_plan",
     "run_plans",
+    "run_serve",
     "run_worker",
+    "submit_campaign",
     "worker_identity",
 ]

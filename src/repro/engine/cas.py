@@ -1,0 +1,192 @@
+"""Content-addressed store of completed shard results.
+
+The campaign service (:mod:`repro.engine.serve`) is long-lived, and the
+engine's determinism guarantee makes completed work *cacheable*: a shard
+is fully determined by the plan batch it belongs to, its position in that
+batch, and its seed.  :class:`ResultCAS` persists every completed shard
+under exactly that key —
+
+    ``(plans fingerprint, plan index, shard index, shard seed)``
+
+— so a campaign resubmitted to the service (today or after a daemon
+restart) is served from disk without touching a worker.  The plan-batch
+fingerprint folds in each plan's class and every field (see
+:meth:`repro.engine.plan.CampaignPlan.fingerprint`), so two campaigns
+share an entry only when their definitions are byte-equivalent; the seed
+rides in the filename as a belt-and-braces guard for the same reason it
+rides in the journal's shard records.
+
+Entries reuse the checkpoint journal's lossless line codec
+(:func:`~repro.engine.checkpoint.encode_line`: canonical JSON + CRC32),
+stamped with :func:`~repro.engine.checkpoint.result_schema_version`.  A
+corrupt entry is quarantined (renamed aside) and reported as a miss; an
+entry written under a different codec schema is *rejected without being
+decoded* — both degrade to re-execution, never to wrong results.  Writes
+are atomic (tmp + fsync + rename) so a crashed daemon can't leave a torn
+entry behind.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.core.results import CampaignResult
+from repro.engine.checkpoint import (
+    decode_line,
+    encode_line,
+    result_from_record,
+    result_schema_version,
+    result_to_record,
+)
+
+CAS_VERSION = 1
+"""Layout version of one CAS entry (bumped only on key-shape changes)."""
+
+QUARANTINE_SUFFIX = ".quarantined"
+"""Corrupt entries are renamed aside with this suffix, never deleted."""
+
+
+class ResultCAS:
+    """Filesystem CAS of shard results, keyed by content fingerprints.
+
+    Layout: ``<root>/<plans-fingerprint>/p<plan>-s<shard>-<seed>.json``,
+    one entry per line-encoded file.  The store is append-only from the
+    daemon's point of view; eviction is an operator decision (delete the
+    directory), which keeps the trust story identical to the checkpoint
+    journal's.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.schema = result_schema_version()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.corrupt = 0
+        self.schema_rejects = 0
+
+    def entry_path(
+        self, fingerprint: str, plan_index: int, shard_index: int, seed: int
+    ) -> Path:
+        return (
+            self.root
+            / fingerprint
+            / f"p{plan_index:03d}-s{shard_index:04d}-{int(seed) & (2**64 - 1):016x}.json"
+        )
+
+    # -- read side --------------------------------------------------------------------
+
+    def get(
+        self, fingerprint: str, plan_index: int, shard_index: int, seed: int
+    ) -> Optional[CampaignResult]:
+        """The cached result for one shard key, or ``None`` (a miss).
+
+        Every failure mode is a miss: absent entry, torn/corrupt entry
+        (quarantined aside), key fields that disagree with the path, or a
+        schema version from a different codec (rejected before any result
+        field is interpreted).
+        """
+        path = self.entry_path(fingerprint, plan_index, shard_index, seed)
+        try:
+            line = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            self.misses += 1
+            return None
+        try:
+            record = decode_line(line.strip())
+        except Exception:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if record.get("schema") != self.schema:
+            # A different codec wrote this (field added/renamed since).
+            # Decoding it could mint plausible-but-wrong results, so the
+            # entry is dead to us until re-executed under this schema.
+            self.schema_rejects += 1
+            self.misses += 1
+            return None
+        expected_key = {
+            "v": CAS_VERSION,
+            "fingerprint": fingerprint,
+            "plan": plan_index,
+            "shard": shard_index,
+            "seed": int(seed),
+        }
+        if any(record.get(field) != value for field, value in expected_key.items()):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        try:
+            result = result_from_record(record["result"])
+        except Exception:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # -- write side -------------------------------------------------------------------
+
+    def put(
+        self,
+        fingerprint: str,
+        plan_index: int,
+        shard_index: int,
+        seed: int,
+        result: CampaignResult,
+    ) -> Path:
+        """Durably store one completed shard result (atomic, idempotent)."""
+        path = self.entry_path(fingerprint, plan_index, shard_index, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = encode_line(
+            {
+                "v": CAS_VERSION,
+                "schema": self.schema,
+                "fingerprint": fingerprint,
+                "plan": plan_index,
+                "shard": shard_index,
+                "seed": int(seed),
+                "result": result_to_record(result),
+            }
+        )
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._fsync_dir(path.parent)
+        self.puts += 1
+        return path
+
+    # -- bookkeeping ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Counters snapshot for the daemon's status lines and tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "corrupt": self.corrupt,
+            "schema_rejects": self.schema_rejects,
+        }
+
+    def _quarantine(self, path: Path) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + QUARANTINE_SUFFIX))
+        except OSError:
+            pass  # racing daemon or read-only store: the miss still stands
+
+    @staticmethod
+    def _fsync_dir(directory: Path) -> None:
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

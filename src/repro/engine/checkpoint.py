@@ -81,6 +81,26 @@ def result_from_record(record: Dict) -> CampaignResult:
     return result
 
 
+def result_schema_version() -> str:
+    """Content-derived version of the shard-result codec's field layout.
+
+    Hashes the journal version, the record's top-level keys, and the
+    sorted :class:`FaultCycleResult` field names — so adding (or renaming)
+    a cycle counter bumps the version automatically, without anyone
+    remembering to.  Long-lived stores (the serve daemon's CAS) stamp
+    every entry with this and treat a mismatch as a miss: a record written
+    by a codec with a different shape is re-executed, never silently
+    decoded into wrong-shaped results.
+    """
+    cycle_fields = ",".join(sorted(f.name for f in fields(FaultCycleResult)))
+    blob = (
+        f"journal={JOURNAL_VERSION};"
+        f"record=label,traffic_time_us,requests_issued,cycles;"
+        f"cycle={cycle_fields}"
+    )
+    return f"{zlib.crc32(blob.encode('utf-8')):08x}"
+
+
 # -- fingerprints -------------------------------------------------------------------
 
 
@@ -102,14 +122,15 @@ def _canonical(payload: Dict) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _encode_line(payload: Dict) -> str:
+def encode_line(payload: Dict) -> str:
+    """One canonical-JSON journal/CAS line with its CRC32 appended."""
     crc = zlib.crc32(_canonical(payload).encode("utf-8"))
     record = dict(payload)
     record["crc"] = crc
     return _canonical(record)
 
 
-def _decode_line(line: str) -> Dict:
+def decode_line(line: str) -> Dict:
     """Parse + checksum-verify one journal line (raises on any damage)."""
     record = json.loads(line)
     if not isinstance(record, dict):
@@ -138,7 +159,7 @@ class CheckpointJournal:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("a", encoding="utf-8")
-        self._handle.write(_encode_line(payload) + "\n")
+        self._handle.write(encode_line(payload) + "\n")
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self.records_written += 1
@@ -236,7 +257,7 @@ def load_resume_state(path: PathLike, fingerprint: str) -> ResumeState:
         if not line.strip():
             raise CheckpointError(f"blank journal line {index + 1} before tail")
         try:
-            record = _decode_line(line)
+            record = decode_line(line)
         except (CheckpointError, ValueError) as exc:
             if index == len(lines) - 1:
                 state.dropped_tail = True
@@ -309,7 +330,7 @@ def compact_journal(path: PathLike) -> CompactionStats:
         try:
             if not line.strip():
                 raise CheckpointError("blank journal line")
-            records.append(_decode_line(line))
+            records.append(decode_line(line))
         except (CheckpointError, ValueError) as exc:
             if index == len(lines) - 1:
                 torn_tail = True
@@ -343,7 +364,7 @@ def compact_journal(path: PathLike) -> CompactionStats:
     tmp_path = journal_path.with_name(journal_path.name + ".compact.tmp")
     with tmp_path.open("w", encoding="utf-8") as handle:
         for _, record in kept:
-            handle.write(_encode_line(record) + "\n")
+            handle.write(encode_line(record) + "\n")
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp_path, journal_path)

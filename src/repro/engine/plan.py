@@ -138,16 +138,24 @@ class CampaignPlan:
         )
 
     def fingerprint(self) -> str:
-        """Stable content hash of every plan field.
+        """Stable content hash of the plan type and every plan field.
 
-        Checkpoint journal records are keyed by this (see
+        Checkpoint journal records and CAS entries are keyed by this (see
         :mod:`repro.engine.checkpoint`), so shard results recorded for one
         campaign definition can never be replayed into a different one.
         Hashes canonical JSON of the dataclass tree — no salted ``hash()``,
         stable across processes and Python versions.
+
+        The plan *class* is part of the hash: subclasses override
+        :meth:`run_shard` (dirty-cycle, topology, app campaigns), so two
+        plans with identical field values but different types produce
+        different results and must never share a checkpoint/CAS key.
         """
         blob = json.dumps(
-            asdict(self), sort_keys=True, default=str, separators=(",", ":")
+            {"plan_type": type(self).__qualname__, "fields": asdict(self)},
+            sort_keys=True,
+            default=str,
+            separators=(",", ":"),
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 

@@ -17,6 +17,7 @@ of crediting the engine with cycles a previous run already paid for.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, TextIO, Union
@@ -100,6 +101,13 @@ class EngineTelemetry:
 
     Executors call the ``shard_*``/``plan_finished`` methods; each call
     builds a :class:`ProgressEvent` and forwards it to the hook (if any).
+
+    Event entry points are serialized by a mutex: the asyncio coordinator
+    emits worker-driven events from its event-loop thread while the
+    engine's driver thread emits ``shard-skipped``/``plan-finished``, and
+    both the counters and the hook (often a shared
+    :class:`~repro.engine.trace.TraceWriter`) must see one event at a
+    time.
     """
 
     def __init__(
@@ -121,6 +129,7 @@ class EngineTelemetry:
         self._hook = hook
         self._clock = clock
         self._start = clock()
+        self._mutex = threading.RLock()
 
     # -- derived ------------------------------------------------------------------
 
@@ -190,16 +199,17 @@ class EngineTelemetry:
         worker_pid: Optional[Union[int, str]] = None,
     ) -> None:
         """A shard completed; fold its cycles into the throughput estimate."""
-        self.shards_done += 1
-        self.cycles_done += cycles
-        self._emit(
-            "shard-finished",
-            plan_label,
-            index,
-            count,
-            attempt=attempt,
-            worker_pid=worker_pid,
-        )
+        with self._mutex:
+            self.shards_done += 1
+            self.cycles_done += cycles
+            self._emit(
+                "shard-finished",
+                plan_label,
+                index,
+                count,
+                attempt=attempt,
+                worker_pid=worker_pid,
+            )
 
     def shard_retried(
         self,
@@ -210,10 +220,16 @@ class EngineTelemetry:
         attempt: Optional[int] = None,
     ) -> None:
         """A shard failed or timed out and is being retried in-process."""
-        self.retries += 1
-        self._emit(
-            "shard-retried", plan_label, index, count, detail=reason, attempt=attempt
-        )
+        with self._mutex:
+            self.retries += 1
+            self._emit(
+                "shard-retried",
+                plan_label,
+                index,
+                count,
+                detail=reason,
+                attempt=attempt,
+            )
 
     def shard_skipped(
         self, plan_label: str, index: int, count: int, cycles: int
@@ -223,11 +239,14 @@ class EngineTelemetry:
         Its cycles advance the progress totals but are tracked separately
         so the throughput/ETA estimate only reflects executed work.
         """
-        self.shards_done += 1
-        self.cycles_done += cycles
-        self.cycles_skipped += cycles
-        self.skipped += 1
-        self._emit("shard-skipped", plan_label, index, count, detail="from checkpoint")
+        with self._mutex:
+            self.shards_done += 1
+            self.cycles_done += cycles
+            self.cycles_skipped += cycles
+            self.skipped += 1
+            self._emit(
+                "shard-skipped", plan_label, index, count, detail="from checkpoint"
+            )
 
     def shard_quarantined(
         self,
@@ -238,16 +257,17 @@ class EngineTelemetry:
         attempt: Optional[int] = None,
     ) -> None:
         """A shard exhausted its retry budget and was quarantined."""
-        self.shards_done += 1
-        self.quarantined += 1
-        self._emit(
-            "shard-quarantined",
-            plan_label,
-            index,
-            count,
-            detail=reason,
-            attempt=attempt,
-        )
+        with self._mutex:
+            self.shards_done += 1
+            self.quarantined += 1
+            self._emit(
+                "shard-quarantined",
+                plan_label,
+                index,
+                count,
+                detail=reason,
+                attempt=attempt,
+            )
 
     def checkpoint_written(
         self,
@@ -257,10 +277,15 @@ class EngineTelemetry:
         commit_lag_s: Optional[float] = None,
     ) -> None:
         """A shard result was durably committed to the journal."""
-        self.checkpoints += 1
-        self._emit(
-            "checkpoint-written", plan_label, index, count, commit_lag_s=commit_lag_s
-        )
+        with self._mutex:
+            self.checkpoints += 1
+            self._emit(
+                "checkpoint-written",
+                plan_label,
+                index,
+                count,
+                commit_lag_s=commit_lag_s,
+            )
 
     def plan_finished(self, plan_label: str, shard_count: int) -> None:
         """Every shard of one plan has merged (shard index is the sentinel)."""
@@ -281,26 +306,27 @@ class EngineTelemetry:
     ) -> None:
         if self._hook is None:
             return
-        self._hook(
-            ProgressEvent(
-                kind=kind,
-                plan_label=plan_label,
-                shard_index=index,
-                shard_count=count,
-                shards_done=self.shards_done,
-                shards_total=self.shards_total,
-                cycles_done=self.cycles_done,
-                cycles_total=self.cycles_total,
-                elapsed_s=self.elapsed_s,
-                cycles_per_sec=self.cycles_per_sec,
-                eta_s=self.eta_s,
-                detail=detail,
-                cycles_skipped=self.cycles_skipped,
-                attempt=attempt,
-                worker_pid=worker_pid,
-                commit_lag_s=commit_lag_s,
+        with self._mutex:
+            self._hook(
+                ProgressEvent(
+                    kind=kind,
+                    plan_label=plan_label,
+                    shard_index=index,
+                    shard_count=count,
+                    shards_done=self.shards_done,
+                    shards_total=self.shards_total,
+                    cycles_done=self.cycles_done,
+                    cycles_total=self.cycles_total,
+                    elapsed_s=self.elapsed_s,
+                    cycles_per_sec=self.cycles_per_sec,
+                    eta_s=self.eta_s,
+                    detail=detail,
+                    cycles_skipped=self.cycles_skipped,
+                    attempt=attempt,
+                    worker_pid=worker_pid,
+                    commit_lag_s=commit_lag_s,
+                )
             )
-        )
 
 
 class ConsoleProgress:

@@ -7,34 +7,14 @@ ShardRun)`` — across machine boundaries while changing nothing above it:
 merge order, checkpoint journal, resume, retry/quarantine policy and the
 trace vocabulary are exactly the single-host ones.
 
-Wire protocol (version 1)
--------------------------
-Frames are **length-prefixed JSON objects**: a 4-byte big-endian unsigned
-payload length followed by that many bytes of UTF-8 JSON.  Frames above
-:data:`MAX_FRAME_BYTES` are rejected.  The conversation:
-
-1. ``hello``    (worker → coordinator): ``{v, worker, fingerprint}``.
-   ``worker`` is the worker's identity (``host:pid``); ``fingerprint`` is
-   the plan-batch fingerprint the worker already holds (``null`` on a
-   fresh connect).  A version mismatch or a stale fingerprint draws a
-   ``reject`` frame and the connection closes — a worker hydrated for a
-   different campaign can never execute shards of this one.
-2. ``welcome``  (coordinator → worker): ``{v, fingerprint, plans,
-   lease_timeout_s, heartbeat_s}``.  ``plans`` is the pickled, base64'd
-   plan batch; the worker re-derives :func:`plans_fingerprint` after
-   hydration and aborts on any mismatch (codec drift detection).  The
-   protocol trusts its network exactly as much as ``multiprocessing``
-   trusts its fork: plans travel as pickles, so only run coordinators on
-   networks you trust.
-3. Work loop (repeated): worker sends ``request``; coordinator answers
-   ``shard {plan, shard, attempt}`` (a **lease**), ``wait {delay_s}``
-   (nothing leasable right now) or ``shutdown`` (campaign complete).
-   While executing, the worker's heartbeat thread sends ``heartbeat
-   {plan, shard}`` every ``heartbeat_s`` to renew the lease; the shard
-   concludes with ``result {plan, shard, attempt, result}`` (the
-   checkpoint codec's :func:`result_to_record` record — the journal's
-   on-disk format *is* the wire format) or ``failure {plan, shard,
-   attempt, error}``.
+The wire protocol (framing, handshake, plan transport) is defined in
+:mod:`repro.engine.wire` and re-exported here unchanged; the conversation
+is documented there and in :mod:`repro.engine.aiocoord`, whose
+:class:`~repro.engine.aiocoord.CoordinatorCore` holds the lease/retry
+state machine.  In short: ``hello``/``welcome`` (fingerprint-gated,
+versioned), then a work loop of ``request`` → ``shard``/``wait``/
+``shutdown`` with ``heartbeat`` renewing leases and ``result``/``failure``
+concluding them.
 
 Leases
 ------
@@ -53,31 +33,41 @@ Commits all flow through the coordinator's single
 :class:`~repro.engine.checkpoint.CheckpointJournal`, so ``--resume``
 works identically for local and distributed runs (and a journal written
 by one can resume the other).
+
+Coordinator internals
+---------------------
+:class:`RemoteExecutor` multiplexes every worker connection on one
+asyncio event loop running in a background thread (shared with the
+campaign service, :mod:`repro.engine.serve`); the ``execute`` generator
+stays a plain blocking iterator on the caller's thread, fed through a
+condition variable.  All scheduling, journal and telemetry work happens
+on the loop thread, in frame-arrival order — the same total order the
+old thread-per-connection pump produced through its event queue.
 """
 
 from __future__ import annotations
 
-import base64
-import json
-import os
-import pickle
+import asyncio
 import socket
-import struct
 import sys
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.engine.aiocoord import (
+    CoordinatorCore,
+    pump_worker_frames,
+    read_frame,
+    sweep_interval_s,
+    write_frame,
+)
 from repro.engine.checkpoint import (
     CheckpointJournal,
     ResumeState,
     plans_fingerprint,
-    result_from_record,
     result_to_record,
 )
-from repro.engine.executors import BackoffPoller, ShardKey, ShardTask, _run_shard_task
+from repro.engine.executors import ShardKey, ShardTask, _run_shard_task
 from repro.engine.progress import EngineTelemetry
 from repro.engine.supervisor import (
     InterruptFlag,
@@ -85,152 +75,31 @@ from repro.engine.supervisor import (
     RetryPolicy,
     ShardRun,
 )
+from repro.engine.wire import (  # noqa: F401  (re-exported protocol surface)
+    _HEADER,
+    _recv_exact,
+    decode_plans,
+    DEFAULT_LEASE_TIMEOUT_S,
+    encode_plans,
+    MAX_FRAME_BYTES,
+    parse_address,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+    validate_hello,
+    worker_identity,
+)
 from repro.errors import (
     CampaignError,
     CampaignInterrupted,
     RemoteProtocolError,
-    ShardFailureError,
 )
 
-PROTOCOL_VERSION = 1
-"""Wire protocol version; both ends must agree exactly."""
-
-MAX_FRAME_BYTES = 64 * 1024 * 1024
-"""Upper bound on one frame's payload (a plan batch or shard result)."""
-
-DEFAULT_LEASE_TIMEOUT_S = 15.0
-"""Lease lifetime without a heartbeat before the shard is requeued."""
-
-_HEADER = struct.Struct(">I")
-
-
-# -- frame codec --------------------------------------------------------------------
-
-
-def send_frame(sock: socket.socket, payload: Dict) -> None:
-    """Serialize one JSON frame onto the socket (length-prefixed)."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise RemoteProtocolError(
-            f"frame of {len(body)} bytes exceeds limit {MAX_FRAME_BYTES}"
-        )
-    sock.sendall(_HEADER.pack(len(body)) + body)
-
-
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
-    """Read exactly ``count`` bytes; ``None`` on clean EOF at offset 0."""
-    chunks: List[bytes] = []
-    remaining = count
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if not chunks:
-                return None
-            raise RemoteProtocolError(
-                f"connection closed mid-frame ({count - remaining}/{count} bytes)"
-            )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def recv_frame(sock: socket.socket) -> Optional[Dict]:
-    """Read one frame; ``None`` on clean EOF at a frame boundary."""
-    header = _recv_exact(sock, _HEADER.size)
-    if header is None:
-        return None
-    (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise RemoteProtocolError(
-            f"declared frame of {length} bytes exceeds limit {MAX_FRAME_BYTES}"
-        )
-    body = _recv_exact(sock, length)
-    if body is None:
-        raise RemoteProtocolError("connection closed between header and payload")
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, ValueError) as exc:
-        raise RemoteProtocolError(f"frame is not valid JSON: {exc!r}") from exc
-    if not isinstance(payload, dict) or "kind" not in payload:
-        raise RemoteProtocolError("frame must be a JSON object with a 'kind'")
-    return payload
-
-
-# -- addresses & plan transport -----------------------------------------------------
-
-
-def parse_address(address: Union[str, Tuple[str, int]]) -> Tuple[str, int]:
-    """``HOST:PORT`` / ``:PORT`` / ``PORT`` (or a ready tuple) → ``(host, port)``."""
-    if isinstance(address, tuple):
-        host, port = address
-        return (host or "127.0.0.1", int(port))
-    text = str(address).strip()
-    if ":" in text:
-        host, _, port_text = text.rpartition(":")
-    else:
-        host, port_text = "", text
-    try:
-        port = int(port_text)
-    except ValueError:
-        raise CampaignError(
-            f"listen/connect address must be HOST:PORT, :PORT or PORT, got {address!r}"
-        ) from None
-    if not 0 <= port <= 65535:
-        raise CampaignError(f"port out of range in address {address!r}")
-    return (host or "127.0.0.1", port)
-
-
-def encode_plans(plans: Sequence) -> str:
-    """Plan batch → base64 pickle (the ``welcome`` frame's payload)."""
-    return base64.b64encode(pickle.dumps(list(plans), protocol=4)).decode("ascii")
-
-
-def decode_plans(blob: str) -> List:
-    """Inverse of :func:`encode_plans`."""
-    try:
-        plans = pickle.loads(base64.b64decode(blob.encode("ascii")))
-    except Exception as exc:
-        raise RemoteProtocolError(f"plan batch failed to hydrate: {exc!r}") from exc
-    if not isinstance(plans, list):
-        raise RemoteProtocolError("plan batch did not decode to a list")
-    return plans
-
-
-def worker_identity() -> str:
-    """This process's identity on the wire (``host:pid``)."""
-    return f"{socket.gethostname()}:{os.getpid()}"
-
-
-def validate_hello(payload: Dict, fingerprint: str) -> Optional[str]:
-    """Why a ``hello`` must be rejected, or ``None`` when it is acceptable."""
-    if payload.get("kind") != "hello":
-        return f"expected hello, got {payload.get('kind')!r}"
-    if payload.get("v") != PROTOCOL_VERSION:
-        return (
-            f"protocol version mismatch: coordinator speaks {PROTOCOL_VERSION}, "
-            f"worker spoke {payload.get('v')!r}"
-        )
-    held = payload.get("fingerprint")
-    if held is not None and held != fingerprint:
-        return (
-            f"stale worker: holds plans {held}, campaign is {fingerprint} — "
-            "restart the worker so it re-hydrates"
-        )
-    return None
+DRAIN_GRACE_S = 2.0
+"""How long teardown waits for workers to draw their ``shutdown`` frame."""
 
 
 # -- coordinator --------------------------------------------------------------------
-
-
-@dataclass
-class _Lease:
-    """One shard's claim by one worker connection."""
-
-    worker: str
-    conn_id: int
-    attempt: int
-    granted_mono: float
-    deadline_mono: float
 
 
 class RemoteExecutor:
@@ -276,19 +145,17 @@ class RemoteExecutor:
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._started = False
-        self._shutdown = False
         self._fingerprint = ""
         self._plans_blob = ""
-        self._order: List[ShardKey] = []
-        self._by_key: Dict[ShardKey, ShardTask] = {}
-        self._attempts: Dict[ShardKey, int] = {}
-        self._ready: Dict[ShardKey, float] = {}
-        self._ready_since: Dict[ShardKey, float] = {}
-        self._leases: Dict[ShardKey, _Lease] = {}
-        self._done: Dict[ShardKey, ShardRun] = {}
-        self._events: deque = deque()
-        self._conns: List[socket.socket] = []
-        self._threads: List[threading.Thread] = []
+        self._core: Optional[CoordinatorCore] = None
+        self._runs: Dict[ShardKey, ShardRun] = {}
+        self._fatal: Optional[Exception] = None
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._stop_requested = False
+        self._drain = True
+        self._open_handlers = 0
         self._interrupt = InterruptFlag()
         self.workers_seen: List[str] = []
 
@@ -315,71 +182,74 @@ class RemoteExecutor:
                 plans.append(plan)
         self._fingerprint = plans_fingerprint(plans)
         self._plans_blob = encode_plans(plans)
-        now = time.monotonic()
+        core = CoordinatorCore(
+            tasks,
+            policy=self.policy,
+            telemetry=telemetry,
+            journal=self.journal,
+            quarantine_enabled=self.quarantine_enabled,
+            shard_timeout_s=self.shard_timeout_s,
+            lease_timeout_s=self.lease_timeout_s,
+        )
         for plan_index, plan, shard in tasks:
             key = (plan_index, shard.index)
-            self._order.append(key)
-            self._by_key[key] = (plan_index, plan, shard)
             if key in self.resume.results:
-                continue
-            self._attempts[key] = 1
-            self._ready[key] = now
-            self._ready_since[key] = now
+                core.prefill(
+                    key,
+                    ShardRun(
+                        result=self.resume.results[key],
+                        attempts=self.resume.attempts.get(key, 1),
+                        status="resumed",
+                    ),
+                )
+        core.on_done = self._note_done
+        core.on_fatal = self._note_fatal
+        self._core = core
         self._announce(
             f"[engine] coordinator listening on {self.host}:{self.port} "
             f"(fingerprint {self._fingerprint}, "
-            f"{len(self._ready)} shard(s) to lease) — start workers with: "
+            f"{len(core.ready)} shard(s) to lease) — start workers with: "
             f"repro worker --connect {self.host}:{self.port}"
         )
-        acceptor = threading.Thread(
-            target=self._accept_loop, name="repro-coordinator-accept", daemon=True
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-coordinator-loop", daemon=True
         )
-        acceptor.start()
+        self._thread.start()
         with interrupt_flag_guard() as flag:
             self._interrupt = flag
             try:
-                poller = BackoffPoller(cap_s=min(0.25, self.lease_timeout_s / 4.0))
                 for plan_index, plan, shard in tasks:
                     key = (plan_index, shard.index)
                     if key in self.resume.results:
                         telemetry.shard_skipped(
                             plan.display_label(), shard.index, shard.count, shard.faults
                         )
-                        yield key, ShardRun(
-                            result=self.resume.results[key],
-                            attempts=self.resume.attempts.get(key, 1),
-                            status="resumed",
-                        )
+                        yield key, core.done[key]
                         continue
-                    while True:
-                        with self._lock:
-                            run = self._done.get(key)
-                        if run is not None:
-                            break
-                        self._pump(telemetry, poller)
-                    yield key, run
+                    yield key, self._await_run(key)
             finally:
-                self._teardown()
+                self._shutdown_loop(drain=True)
 
-    # -- driver side ----------------------------------------------------------------
+    # -- driver side (caller's thread) ------------------------------------------------
 
-    def _pump(self, telemetry: EngineTelemetry, poller: BackoffPoller) -> None:
-        """Wait for activity, expire leases, apply queued events."""
-        self._raise_if_interrupted()
-        with self._cond:
-            if not self._events:
-                self._cond.wait(timeout=poller.next_delay())
-            self._sweep_leases_locked()
-            events = list(self._events)
-            self._events.clear()
-        if events:
-            poller.reset()
-        for event in events:
-            self._apply_event(event, telemetry)
+    def _await_run(self, key: ShardKey) -> ShardRun:
+        """Block until the loop thread records the shard's terminal run."""
+        while True:
+            self._raise_if_interrupted()
+            with self._cond:
+                run = self._runs.get(key)
+                fatal = self._fatal
+                if run is None and fatal is None:
+                    self._cond.wait(timeout=0.1)
+                    continue
+            if run is not None:
+                return run
+            raise fatal
 
     def _raise_if_interrupted(self) -> None:
         if not self._interrupt:
             return
+        self._shutdown_loop(drain=False)
         if self.journal is not None:
             self.journal.close()
         raise CampaignInterrupted(
@@ -387,179 +257,96 @@ class RemoteExecutor:
             "checkpoint journal is flushed — restart with resume to continue"
         )
 
-    def _sweep_leases_locked(self) -> None:
-        """Requeue shards whose lease expired or overran the shard timeout."""
-        now = time.monotonic()
-        for key, lease in list(self._leases.items()):
-            if now > lease.deadline_mono:
-                reason = (
-                    f"lease expired: no heartbeat from {lease.worker} "
-                    f"within {self.lease_timeout_s:g}s"
-                )
-            elif (
-                self.shard_timeout_s is not None
-                and now - lease.granted_mono > self.shard_timeout_s
-            ):
-                reason = (
-                    f"timeout: no result from {lease.worker} "
-                    f"{self.shard_timeout_s:g}s after lease"
-                )
-            else:
-                continue
-            del self._leases[key]
-            self._events.append(("lost", key, lease.attempt, lease.worker, reason))
+    def _note_done(self, key: ShardKey, run: ShardRun) -> None:
+        with self._cond:
+            self._runs[key] = run
+            self._cond.notify_all()
 
-    def _apply_event(self, event: Tuple, telemetry: EngineTelemetry) -> None:
-        kind = event[0]
-        if kind == "leased":
-            _, key, attempt, worker = event
-            plan_index, plan, shard = self._by_key[key]
-            telemetry.shard_started(
-                plan.display_label(),
-                shard.index,
-                shard.count,
-                attempt=attempt,
-                worker_pid=worker,
-            )
-            return
-        if kind == "result":
-            self._apply_result(event, telemetry)
-            return
-        # "failure" (worker reported an exception) and "lost" (connection
-        # dropped / lease expired) charge the attempt identically: unlike a
-        # shared process pool, a lease names exactly one culprit.
-        _, key, attempt, worker, reason = event
-        with self._lock:
-            if key in self._done or self._attempts.get(key) != attempt:
-                return  # stale: a newer attempt already superseded this one
-        self._fail_attempt(key, attempt, reason, telemetry)
+    def _note_fatal(self, exc: Exception) -> None:
+        with self._cond:
+            if self._fatal is None:
+                self._fatal = exc
+            self._cond.notify_all()
 
-    def _apply_result(self, event: Tuple, telemetry: EngineTelemetry) -> None:
-        _, key, attempt, worker, record, granted_mono, arrived_mono = event
-        with self._lock:
-            if key in self._done:
-                return  # duplicate/stale completion
-            pickup = granted_mono - self._ready_since.get(key, granted_mono)
+    # -- worker gate (loop thread) ----------------------------------------------------
+
+    def grant(self, worker: str, conn_id: int) -> Dict:
+        if self._stop_requested:
+            return {"kind": "shutdown"}
+        return self._core.grant(worker, conn_id)
+
+    def renew(self, frame: Dict, conn_id: int) -> None:
+        self._core.renew(frame, conn_id)
+
+    def outcome(self, frame: Dict, kind: str, worker: str, conn_id: int) -> None:
+        if self._stop_requested:
+            return  # campaign already concluded; late results have nowhere to go
+        self._core.outcome(frame, kind, worker, conn_id)
+
+    def release(self, conn_id: int, worker: str) -> None:
+        if self._stop_requested:
+            return
+        self._core.release(conn_id, worker)
+
+    # -- event loop (background thread) ------------------------------------------------
+
+    def _run_loop(self) -> None:
+        asyncio.run(self._serve_async())
+
+    async def _serve_async(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._handle_conn, sock=self._server)
+        sweeper = asyncio.create_task(self._sweep_loop())
         try:
-            result = result_from_record(record)
-        except Exception as exc:
-            self._fail_attempt(
-                key, attempt, f"undecodable result from {worker}: {exc!r}", telemetry
-            )
-            return
-        plan_index, plan, shard = self._by_key[key]
-        label = plan.display_label()
-        if self.journal is not None:
-            self.journal.append_shard(
-                plan_index, shard.index, result, attempt, label=label
-            )
-            telemetry.checkpoint_written(
-                label,
-                shard.index,
-                shard.count,
-                commit_lag_s=max(0.0, time.monotonic() - arrived_mono),
-            )
-        telemetry.shard_finished(
-            label,
-            shard.index,
-            shard.count,
-            shard.faults,
-            attempt=attempt,
-            worker_pid=worker,
-        )
-        run = ShardRun(
-            result=result,
-            attempts=attempt,
-            status="completed",
-            pickup_latency_s=max(0.0, pickup),
-            duration_s=max(0.0, arrived_mono - granted_mono),
-        )
-        with self._cond:
-            self._done[key] = run
-            if len(self._done) + len(self.resume.results) >= len(self._order):
-                self._shutdown = True
-            self._cond.notify_all()
-
-    def _fail_attempt(
-        self, key: ShardKey, attempt: int, reason: str, telemetry: EngineTelemetry
-    ) -> None:
-        plan_index, plan, shard = self._by_key[key]
-        label = plan.display_label()
-        if attempt >= self.policy.max_attempts:
-            if self.journal is not None:
-                self.journal.append_quarantine(plan_index, shard.index, attempt, reason)
-            telemetry.shard_quarantined(
-                label, shard.index, shard.count, reason, attempt=attempt
-            )
-            if not self.quarantine_enabled:
-                raise ShardFailureError(
-                    f"shard {label}#s{shard.index} failed after {attempt} attempts "
-                    f"({reason}); enable quarantine to complete degraded campaigns"
-                )
-            run = ShardRun(
-                result=None, attempts=attempt, status="quarantined", error=reason
-            )
-            with self._cond:
-                self._done[key] = run
-                if len(self._done) + len(self.resume.results) >= len(self._order):
-                    self._shutdown = True
-                self._cond.notify_all()
-            return
-        telemetry.shard_retried(
-            label, shard.index, shard.count, reason, attempt=attempt
-        )
-        backoff = self.policy.backoff_s(shard.seed, attempt)
-        now = time.monotonic()
-        with self._cond:
-            self._attempts[key] = attempt + 1
-            self._ready[key] = now + backoff
-            self._ready_since[key] = now
-            self._cond.notify_all()
-
-    # -- connection side (handler threads) --------------------------------------------
-
-    def _accept_loop(self) -> None:
-        while True:
+            await self._stop_event.wait()
+            if self._drain:
+                # Give connected workers a moment to drain: their next
+                # `request` draws a `shutdown` frame and they exit 0
+                # instead of seeing EOF.
+                deadline = self._loop.time() + DRAIN_GRACE_S
+                while self._open_handlers and self._loop.time() < deadline:
+                    await asyncio.sleep(0.05)
+        finally:
+            sweeper.cancel()
+            server.close()
             try:
-                conn, _addr = self._server.accept()
-            except OSError:
-                return  # server socket closed: coordinator is done
-            with self._lock:
-                if self._shutdown:
-                    # Late joiner after completion: turn it away politely.
-                    try:
-                        send_frame(conn, {"kind": "shutdown"})
-                        conn.close()
-                    except OSError:
-                        pass
-                    continue
-                self._conns.append(conn)
-            handler = threading.Thread(
-                target=self._serve_connection,
-                args=(conn,),
-                name="repro-coordinator-conn",
-                daemon=True,
-            )
-            handler.start()
-            self._threads.append(handler)
+                await server.wait_closed()
+            except Exception:
+                pass
 
-    def _serve_connection(self, conn: socket.socket) -> None:
+    async def _sweep_loop(self) -> None:
+        interval = sweep_interval_s(self.lease_timeout_s)
+        while not self._stop_event.is_set():
+            self._core.sweep()
+            try:
+                await asyncio.wait_for(self._stop_event.wait(), timeout=interval)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
         worker = "unknown"
-        conn_id = id(conn)
+        self._open_handlers += 1
         try:
-            conn.settimeout(max(30.0, self.lease_timeout_s * 4))
-            hello = recv_frame(conn)
+            if self._stop_requested or self._core.complete:
+                # Late joiner after completion: turn it away politely.
+                await write_frame(writer, {"kind": "shutdown"})
+                return
+            hello = await asyncio.wait_for(
+                read_frame(reader), timeout=max(30.0, self.lease_timeout_s * 4)
+            )
             if hello is None:
                 return
             rejection = validate_hello(hello, self._fingerprint)
             worker = str(hello.get("worker") or "unknown")
             if rejection is not None:
-                send_frame(conn, {"kind": "reject", "reason": rejection})
+                await write_frame(writer, {"kind": "reject", "reason": rejection})
                 return
-            with self._lock:
-                self.workers_seen.append(worker)
-            send_frame(
-                conn,
+            self.workers_seen.append(worker)
+            await write_frame(
+                writer,
                 {
                     "kind": "welcome",
                     "v": PROTOCOL_VERSION,
@@ -569,149 +356,44 @@ class RemoteExecutor:
                     "heartbeat_s": self.lease_timeout_s / 3.0,
                 },
             )
-            while True:
-                frame = recv_frame(conn)
-                if frame is None:
-                    return
-                kind = frame["kind"]
-                if kind == "request":
-                    send_frame(conn, self._grant_locked(worker, conn_id))
-                elif kind == "heartbeat":
-                    self._renew_lease(frame, conn_id)
-                elif kind in ("result", "failure"):
-                    self._receive_outcome(frame, kind, worker, conn_id)
-                else:
-                    raise RemoteProtocolError(
-                        f"unexpected frame kind {kind!r} from {worker}"
-                    )
-        except (RemoteProtocolError, OSError, ValueError):
-            pass  # connection-level damage: leases released below
+            await pump_worker_frames(self, reader, writer, worker)
+        except (
+            RemoteProtocolError,
+            OSError,
+            ValueError,
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # connection-level damage: leases released by the pump
         finally:
-            self._release_worker_leases(conn_id, worker)
+            self._open_handlers -= 1
+            writer.close()
             try:
-                conn.close()
-            except OSError:
+                await writer.wait_closed()
+            except Exception:
                 pass
-
-    def _grant_locked(self, worker: str, conn_id: int) -> Dict:
-        """Lease the first ready shard (task order), or say wait/shutdown."""
-        with self._cond:
-            if self._shutdown:
-                return {"kind": "shutdown"}
-            now = time.monotonic()
-            soonest: Optional[float] = None
-            for key in self._order:
-                if key in self._done or key in self._leases or key not in self._ready:
-                    continue
-                not_before = self._ready[key]
-                if not_before <= now:
-                    attempt = self._attempts[key]
-                    self._leases[key] = _Lease(
-                        worker=worker,
-                        conn_id=conn_id,
-                        attempt=attempt,
-                        granted_mono=now,
-                        deadline_mono=now + self.lease_timeout_s,
-                    )
-                    del self._ready[key]
-                    self._events.append(("leased", key, attempt, worker))
-                    self._cond.notify_all()
-                    plan_index, _plan, shard = self._by_key[key]
-                    return {
-                        "kind": "shard",
-                        "plan": plan_index,
-                        "shard": shard.index,
-                        "attempt": attempt,
-                    }
-                soonest = not_before if soonest is None else min(soonest, not_before)
-            if soonest is not None:
-                delay = min(1.0, max(0.05, soonest - now))
-            else:
-                delay = 0.5  # everything is leased out; check back shortly
-            return {"kind": "wait", "delay_s": delay}
-
-    def _renew_lease(self, frame: Dict, conn_id: int) -> None:
-        key = (frame.get("plan"), frame.get("shard"))
-        with self._lock:
-            lease = self._leases.get(key)
-            if lease is not None and lease.conn_id == conn_id:
-                lease.deadline_mono = time.monotonic() + self.lease_timeout_s
-
-    def _receive_outcome(
-        self, frame: Dict, kind: str, worker: str, conn_id: int
-    ) -> None:
-        key = (frame.get("plan"), frame.get("shard"))
-        attempt = frame.get("attempt")
-        with self._cond:
-            lease = self._leases.get(key)
-            if lease is None or lease.conn_id != conn_id or lease.attempt != attempt:
-                return  # stale outcome: the lease moved on; determinism makes it safe to drop
-            del self._leases[key]
-            now = time.monotonic()
-            if kind == "result":
-                self._events.append(
-                    (
-                        "result",
-                        key,
-                        attempt,
-                        worker,
-                        frame.get("result"),
-                        lease.granted_mono,
-                        now,
-                    )
-                )
-            else:
-                self._events.append(
-                    (
-                        "failure",
-                        key,
-                        attempt,
-                        worker,
-                        str(frame.get("error") or "worker reported failure"),
-                    )
-                )
-            self._cond.notify_all()
-
-    def _release_worker_leases(self, conn_id: int, worker: str) -> None:
-        with self._cond:
-            for key, lease in list(self._leases.items()):
-                if lease.conn_id == conn_id:
-                    del self._leases[key]
-                    self._events.append(
-                        (
-                            "lost",
-                            key,
-                            lease.attempt,
-                            lease.worker,
-                            f"worker {worker} disconnected mid-shard",
-                        )
-                    )
-            self._cond.notify_all()
 
     # -- teardown ---------------------------------------------------------------------
 
-    def _teardown(self) -> None:
-        with self._cond:
-            self._shutdown = True
-            self._cond.notify_all()
-        # Give connected workers a moment to drain: their next `request`
-        # draws a `shutdown` frame and they exit 0 instead of seeing EOF.
-        deadline = time.monotonic() + 2.0
-        while time.monotonic() < deadline:
-            if all(not thread.is_alive() for thread in self._threads):
-                break
-            time.sleep(0.05)
-        try:
-            self._server.close()
-        except OSError:
-            pass
-        with self._lock:
-            conns = list(self._conns)
-        for conn in conns:
+    def _shutdown_loop(self, drain: bool) -> None:
+        """Stop the event loop (idempotent) and join its thread."""
+        thread = self._thread
+        if thread is None:
+            return
+        loop = self._loop
+        if loop is not None:
+
+            def _stop() -> None:
+                self._drain = drain
+                self._stop_requested = True
+                self._stop_event.set()
+
             try:
-                conn.close()
-            except OSError:
-                pass
+                loop.call_soon_threadsafe(_stop)
+            except RuntimeError:
+                pass  # loop already closed
+        thread.join(timeout=DRAIN_GRACE_S + 10.0)
+        self._thread = None
 
     def _announce(self, line: str) -> None:
         if self.announce is None:
@@ -768,34 +450,26 @@ def _connect_with_retry(
             time.sleep(0.2)
 
 
-def run_worker(
-    address: Union[str, Tuple[str, int]],
-    connect_timeout_s: float = 10.0,
-    announce=None,
-) -> int:
-    """Connect to a coordinator and execute leased shards until shutdown.
+HeldPlans = Tuple[str, Dict]
+"""A hydrated plan batch a worker holds: ``(fingerprint, shards-by-key)``."""
 
-    This is the body of ``repro worker --connect HOST:PORT``.  Shards run
-    through the exact worker entry point the process-pool executor uses
-    (:func:`~repro.engine.executors._run_shard_task`), so the injectable
-    fault fixture and the bit-determinism guarantee carry over unchanged.
 
-    Exit codes: 0 clean shutdown from the coordinator; 2 rejected at
-    handshake (stale plans or protocol mismatch); 3 connection lost
-    mid-campaign.
+def _worker_session(
+    sock: socket.socket,
+    host: str,
+    port: int,
+    identity: str,
+    held: Optional[HeldPlans],
+    say,
+) -> Tuple[int, Optional[HeldPlans]]:
+    """One coordinator conversation: handshake, work loop, outcome.
+
+    Returns ``(exit_code, held_plans)``.  ``held`` carries an
+    already-hydrated plan batch into a reconnect: the hello advertises its
+    fingerprint, and when the coordinator welcomes us for the *same*
+    batch, hydration is skipped entirely — the idempotent re-handshake a
+    restarted coordinator relies on.
     """
-    stream = announce if announce is not None else sys.stderr
-
-    def say(line: str) -> None:
-        print(line, file=stream)
-        try:
-            stream.flush()
-        except Exception:
-            pass
-
-    host, port = parse_address(address)
-    identity = worker_identity()
-    sock = _connect_with_retry(host, port, connect_timeout_s)
     send_lock = threading.Lock()
     executed = 0
     try:
@@ -807,48 +481,61 @@ def run_worker(
                     "kind": "hello",
                     "v": PROTOCOL_VERSION,
                     "worker": identity,
-                    "fingerprint": None,
+                    "fingerprint": held[0] if held is not None else None,
                 },
             )
         welcome = recv_frame(sock)
         if welcome is None:
             say(f"[worker {identity}] coordinator closed during handshake")
-            return 3
+            return 3, held
         if welcome["kind"] == "reject":
             say(f"[worker {identity}] rejected: {welcome.get('reason')}")
-            return 2
+            return 2, held
+        if welcome["kind"] == "shutdown":
+            # Turned away politely: the campaign finished before we joined.
+            say(f"[worker {identity}] campaign already complete")
+            return 0, held
         if welcome["kind"] != "welcome" or welcome.get("v") != PROTOCOL_VERSION:
             say(f"[worker {identity}] bad handshake reply: {welcome.get('kind')!r}")
-            return 2
-        plans = decode_plans(welcome["plans"])
-        fingerprint = plans_fingerprint(plans)
-        if fingerprint != welcome.get("fingerprint"):
+            return 2, held
+        fingerprint = welcome.get("fingerprint")
+        if held is not None and held[0] == fingerprint:
+            shards = held[1]
             say(
-                f"[worker {identity}] hydrated fingerprint {fingerprint} does not "
-                f"match coordinator's {welcome.get('fingerprint')}; aborting"
+                f"[worker {identity}] reconnected to {host}:{port} "
+                f"(held fingerprint {fingerprint})"
             )
-            return 2
+        else:
+            plans = decode_plans(welcome["plans"])
+            derived = plans_fingerprint(plans)
+            if derived != fingerprint:
+                say(
+                    f"[worker {identity}] hydrated fingerprint {derived} does not "
+                    f"match coordinator's {fingerprint}; aborting"
+                )
+                return 2, held
+            shards = {
+                (plan_index, shard.index): (plan, shard)
+                for plan_index, plan in enumerate(plans)
+                for shard in plan.shards()
+            }
+            held = (fingerprint, shards)
+            say(
+                f"[worker {identity}] connected to {host}:{port} "
+                f"({len(plans)} plan(s), fingerprint {fingerprint})"
+            )
         heartbeat_s = float(welcome.get("heartbeat_s") or DEFAULT_LEASE_TIMEOUT_S / 3)
-        shards = {
-            (plan_index, shard.index): (plan, shard)
-            for plan_index, plan in enumerate(plans)
-            for shard in plan.shards()
-        }
-        say(
-            f"[worker {identity}] connected to {host}:{port} "
-            f"({len(plans)} plan(s), fingerprint {fingerprint})"
-        )
         while True:
             with send_lock:
                 send_frame(sock, {"kind": "request"})
             frame = recv_frame(sock)
             if frame is None:
                 say(f"[worker {identity}] connection lost ({executed} shard(s) done)")
-                return 3
+                return 3, held
             kind = frame["kind"]
             if kind == "shutdown":
                 say(f"[worker {identity}] done: executed {executed} shard(s)")
-                return 0
+                return 0, held
             if kind == "wait":
                 time.sleep(min(5.0, float(frame.get("delay_s") or 0.5)))
                 continue
@@ -894,9 +581,69 @@ def run_worker(
             executed += 1
     except (RemoteProtocolError, OSError) as exc:
         say(f"[worker {identity}] protocol/connection failure: {exc}")
-        return 3
+        return 3, held
     finally:
         try:
             sock.close()
         except OSError:
             pass
+
+
+def run_worker(
+    address: Union[str, Tuple[str, int]],
+    connect_timeout_s: float = 10.0,
+    announce=None,
+    persist: bool = False,
+) -> int:
+    """Connect to a coordinator and execute leased shards until shutdown.
+
+    This is the body of ``repro worker --connect HOST:PORT``.  Shards run
+    through the exact worker entry point the process-pool executor uses
+    (:func:`~repro.engine.executors._run_shard_task`), so the injectable
+    fault fixture and the bit-determinism guarantee carry over unchanged.
+
+    Exit codes: 0 clean shutdown from the coordinator; 2 rejected at
+    handshake (stale plans or protocol mismatch); 3 connection lost
+    mid-campaign.
+
+    With ``persist=True`` the worker outlives individual coordinator
+    sessions: after a lost connection it reconnects *holding* its
+    hydrated plan batch (so a restarted coordinator for the same
+    fingerprint re-handshakes idempotently); after a stale rejection it
+    drops the held batch and retries fresh; after a clean shutdown it
+    waits for the next campaign.  The persist loop ends — returning the
+    last session's exit code — once no coordinator accepts a connection
+    within ``connect_timeout_s``.  A *fresh* handshake rejection still
+    exits 2 immediately: retrying a protocol mismatch is hopeless.
+    """
+    stream = announce if announce is not None else sys.stderr
+
+    def say(line: str) -> None:
+        print(line, file=stream)
+        try:
+            stream.flush()
+        except Exception:
+            pass
+
+    host, port = parse_address(address)
+    identity = worker_identity()
+    held: Optional[HeldPlans] = None
+    code = 3
+    while True:
+        try:
+            sock = _connect_with_retry(host, port, connect_timeout_s)
+        except CampaignError as exc:
+            if not persist:
+                raise
+            say(f"[worker {identity}] {exc}; ending persist loop")
+            return code
+        code, held = _worker_session(sock, host, port, identity, held, say)
+        if not persist:
+            return code
+        if code == 2:
+            if held is None:
+                return 2  # fresh handshake rejected: config error, not transient
+            held = None  # stale plans: reconnect fresh and re-hydrate
+        elif code == 0:
+            held = None  # campaign complete; await the next one
+        time.sleep(0.2)

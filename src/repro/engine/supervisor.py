@@ -54,7 +54,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Sequence, Set, Tuple
 
-from repro.core.results import CampaignResult
+from repro.core.results import CampaignResult, ExecutionStats, ShardTiming
 from repro.engine.checkpoint import CheckpointJournal, ResumeState
 from repro.engine.executors import (
     BackoffPoller,
@@ -63,6 +63,7 @@ from repro.engine.executors import (
     ShardTask,
     _run_shard_task,
 )
+from repro.engine.plan import merge_shard_results
 from repro.engine.progress import EngineTelemetry
 from repro.errors import CampaignInterrupted, ShardFailureError
 
@@ -164,6 +165,48 @@ class ShardRun:
     error: str = ""
     pickup_latency_s: Optional[float] = None
     duration_s: Optional[float] = None
+
+
+def merge_plan_runs(plan, ordered_runs: Sequence[ShardRun]) -> CampaignResult:
+    """Fold one plan's shard runs into a merged result + execution stats.
+
+    Quarantined shards contribute no cycles (the merged result is
+    *degraded*, and says so through ``result.execution``); a plan whose
+    every shard was quarantined still completes, as an empty result.
+
+    Shared by the in-process driver (:func:`repro.engine.run_plans`) and
+    the campaign service client (:mod:`repro.engine.serve`), which both
+    rebuild merged campaign results from per-shard runs — keeping the two
+    paths bit-identical by construction.
+    """
+    completed = tuple(run.result for run in ordered_runs if run.result is not None)
+    if completed:
+        merged = merge_shard_results(plan, completed)
+    else:
+        merged = CampaignResult(label=plan.display_label())
+    stats = ExecutionStats()
+    for index, run in enumerate(ordered_runs):
+        stats.attempts.append(run.attempts)
+        stats.retries += max(0, run.attempts - 1)
+        if run.status == "resumed":
+            stats.shards_resumed += 1
+            stats.retries -= max(0, run.attempts - 1)  # not retried *this* run
+        elif run.status == "quarantined":
+            stats.shards_quarantined += 1
+            stats.quarantined.append(f"{plan.display_label()}#s{index}")
+        else:
+            stats.shards_completed += 1
+        stats.timings.append(
+            ShardTiming(
+                shard_index=index,
+                status=run.status,
+                attempts=run.attempts,
+                pickup_latency_s=run.pickup_latency_s,
+                duration_s=run.duration_s,
+            )
+        )
+    merged.execution = stats
+    return merged
 
 
 class ShardSupervisor:

@@ -62,6 +62,15 @@ class FtlConfig:
         Map updates serialised into one flash page at commit time.
     gc_low_watermark / gc_high_watermark:
         Free-block thresholds for the collector.
+    gc_commit_on_relocate:
+        When ``True``, the collector forces a map-journal commit after
+        relocating a victim block's valid pages and *before* erasing the
+        block, closing the window in which a power fault strands volatile
+        relocation updates whose rollback targets point into the erased
+        block (flushed data lost despite a durable-looking write).  Off by
+        default: the paper's §IV stranded-update statistics — and the
+        calibrated tests built on them — assume the commit cadence is the
+        periodic timer alone.
     """
 
     mapping_policy: str = "auto"
@@ -71,6 +80,7 @@ class FtlConfig:
     journal_entries_per_page: int = 512
     gc_low_watermark: int = 4
     gc_high_watermark: int = 8
+    gc_commit_on_relocate: bool = False
 
     def __post_init__(self) -> None:
         if self.mapping_policy not in ("page", "extent", "auto"):

@@ -71,6 +71,13 @@ class GarbageCollector:
             self.collections += 1
             moved = self.ftl.relocate_block(victim)
             self.pages_relocated += moved
+            if self.ftl.config.gc_commit_on_relocate:
+                # Make the relocation bindings durable before the only other
+                # copy of the data is erased.  Without this barrier a power
+                # fault between the erase and the next periodic commit rolls
+                # the map back to bindings inside the erased block — flushed
+                # data is lost (the ROADMAP's known FTL durability hole).
+                self.ftl.checkpoint()
             self.ftl.erase_and_free(victim)
             self.blocks_reclaimed += 1
             reclaimed += 1

@@ -164,29 +164,35 @@ def free_port():
     return port
 
 
-def spawn_worker(port, env=None, fault=None, connect_timeout_s=20.0):
+def spawn_worker(port, env=None, fault=None, connect_timeout_s=20.0, persist=False):
     """Start one ``repro worker`` subprocess against a local coordinator.
 
     ``fault`` (a ``REPRO_ENGINE_TEST_FAULT`` spec) applies only to this
     worker — the coordinator process stays clean, which is exactly the
-    distributed failure topology the tests need.
+    distributed failure topology the tests need.  ``persist`` workers
+    outlive campaigns and coordinators; keep ``connect_timeout_s`` short
+    for them, since it doubles as how long they linger after the last
+    coordinator goes away.
     """
     worker_env = dict(env if env is not None else cli_env())
     if fault is not None:
         worker_env[TEST_FAULT_ENV] = fault
     else:
         worker_env.pop(TEST_FAULT_ENV, None)
+    argv = [
+        sys.executable,
+        "-m",
+        "repro",
+        "worker",
+        "--connect",
+        f"127.0.0.1:{port}",
+        "--connect-timeout",
+        str(connect_timeout_s),
+    ]
+    if persist:
+        argv.append("--persist")
     return subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "worker",
-            "--connect",
-            f"127.0.0.1:{port}",
-            "--connect-timeout",
-            str(connect_timeout_s),
-        ],
+        argv,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -195,14 +201,18 @@ def spawn_worker(port, env=None, fault=None, connect_timeout_s=20.0):
 
 
 def drain_workers(workers, timeout=30.0):
-    """Collect worker exit codes, terminating any that failed to finish."""
+    """Collect worker exit codes, terminating any that failed to finish.
+
+    Each worker's captured ``(stdout, stderr)`` is stashed on the process
+    object as ``.captured`` for tests that assert on worker chatter.
+    """
     codes = []
     for worker in workers:
         try:
-            worker.communicate(timeout=timeout)
+            worker.captured = worker.communicate(timeout=timeout)
         except subprocess.TimeoutExpired:
             worker.kill()
-            worker.communicate()
+            worker.captured = worker.communicate()
         codes.append(worker.returncode)
     return codes
 
@@ -254,3 +264,68 @@ def run_distributed(
                 pass
         codes = drain_workers(procs)
     return result, codes
+
+
+# -- campaign-service harness --------------------------------------------------------
+
+
+def run_served(
+    plan,
+    cas_root,
+    workers=2,
+    worker_fault=None,
+    lease_timeout_s=None,
+    retry_policy=FAST,
+    quarantine=False,
+    on_workers_started=None,
+    on_before_drain=None,
+    on_record=None,
+    worker_connect_timeout_s=3.0,
+):
+    """One campaign through an in-process :class:`CampaignService`.
+
+    The serve twin of :func:`run_distributed`: starts the service on a
+    background thread, spawns ``workers`` *persistent* ``repro worker``
+    subprocesses against it, submits ``plan`` through the wire client,
+    and returns ``(SubmissionOutcome, worker_exit_codes)``.  Persistent
+    workers only exit once no coordinator answers, so the service is
+    stopped before draining and ``worker_connect_timeout_s`` bounds the
+    teardown.
+    """
+    from repro.engine.serve import CampaignService, submit_campaign
+
+    sink = open(os.devnull, "w")
+    service = CampaignService(
+        cas_root=cas_root,
+        policy=retry_policy,
+        quarantine=quarantine,
+        lease_timeout_s=lease_timeout_s if lease_timeout_s is not None else 15.0,
+        announce=sink,
+    )
+    service.start()
+    procs = []
+    try:
+        procs = [
+            spawn_worker(
+                service.port,
+                fault=worker_fault,
+                persist=True,
+                connect_timeout_s=worker_connect_timeout_s,
+            )
+            for _ in range(workers)
+        ]
+        if on_workers_started is not None:
+            on_workers_started(procs)
+        outcome = submit_campaign(
+            (service.host, service.port), [plan], on_record=on_record
+        )
+    finally:
+        if on_before_drain is not None:
+            try:
+                on_before_drain(procs)
+            except OSError:
+                pass
+        service.stop()
+        codes = drain_workers(procs)
+        sink.close()
+    return outcome, codes

@@ -16,6 +16,7 @@ from repro.engine.checkpoint import (
     compact_journal,
     load_resume_state,
     result_from_record,
+    result_schema_version,
     result_to_record,
 )
 from repro.errors import CheckpointError
@@ -261,3 +262,49 @@ class TestPlanFingerprint:
         a, b = make_plan(base_seed=1), make_plan(base_seed=2)
         assert plans_fingerprint([a, b]) != plans_fingerprint([b, a])
         assert plans_fingerprint([a]) != plans_fingerprint([a, a])
+
+    def test_sensitive_to_device_config(self):
+        from repro.ssd.device import SsdConfig
+
+        base = make_plan(device=SsdConfig()).fingerprint()
+        tweaked = make_plan(device=SsdConfig(cache_capacity_pages=7)).fingerprint()
+        assert tweaked != base
+
+    def test_sensitive_to_plan_class(self):
+        """Two plans with identical fields but different run_shard code must
+        never share a checkpoint/CAS key (the subclass overrides results)."""
+
+        class ImpostorPlan(CampaignPlan):
+            pass
+
+        fields = dict(
+            spec=WorkloadSpec(wss_bytes=1 * GIB), faults=4, base_seed=9,
+            shard_faults=2,
+        )
+        assert CampaignPlan(**fields).fingerprint() != ImpostorPlan(
+            **fields
+        ).fingerprint()
+
+
+class TestResultSchemaVersion:
+    def test_stable(self):
+        assert result_schema_version() == result_schema_version()
+        assert len(result_schema_version()) == 8
+
+    def test_tracks_cycle_fields(self):
+        """The version is derived from the live field list — simulate a
+        codec that grew a field and check the version moves."""
+        import dataclasses
+        from unittest import mock
+
+        import repro.engine.checkpoint as checkpoint
+
+        grown = dataclasses.make_dataclass(
+            "FaultCycleResult",
+            [(f.name, f.type) for f in dataclasses.fields(FaultCycleResult)]
+            + [("new_counter", int)],
+        )
+        before = result_schema_version()
+        with mock.patch.object(checkpoint, "FaultCycleResult", grown):
+            assert result_schema_version() != before
+        assert result_schema_version() == before
